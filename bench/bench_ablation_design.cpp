@@ -1,0 +1,110 @@
+// Ablation bench (ours — design choices DESIGN.md calls out, several of which
+// the paper motivates but does not quantify):
+//   A. §III-A residual normalization on/off — the paper's stagnation argument;
+//   B. two-level vs one-level DDM-GNN — the coarse space's scalability claim;
+//   C. Dirichlet-flag input channel on/off (our documented deviation);
+//   D. inference-time refinement passes 0/1/2/3 (our training-budget
+//      compensation knob);
+//   E. plain PCG (Alg. 1, as the paper uses) vs flexible PCG for the
+//      non-symmetric GNN preconditioner.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/dataset.hpp"
+#include "core/hybrid_solver.hpp"
+#include "core/model_zoo.hpp"
+#include "gnn/trainer.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+
+void report(const char* label, const core::HybridReport& rep) {
+  std::printf("  %-34s iters=%-6d final=%.2e  T=%.3fs %s\n", label,
+              rep.result.iterations, rep.result.final_relative_residual,
+              rep.result.total_seconds,
+              rep.result.converged ? "" : "(NOT converged)");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ddmgnn;
+  bench::print_header("Ablations: normalization / coarse level / flag / "
+                      "refinement / PCG variant");
+
+  core::ZooSpec spec = core::default_spec(10, 10);
+  const core::DssDataset data = core::generate_dataset(spec.dataset);
+  const gnn::DssModel model = core::get_or_train_model(spec, &data);
+
+  const double nf = bench_scale() == BenchScale::kSmoke ? 1.5 : 4.0;
+  auto [m, prob] = bench::make_problem(
+      static_cast<la::Index>(nf * spec.dataset.mesh_target_nodes), 404);
+  std::printf("problem: N=%d\n\n", m.num_nodes());
+
+  core::HybridConfig cfg;
+  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
+  cfg.rel_tol = 1e-6;
+  cfg.max_iterations = 2500;
+  cfg.model = &model;
+  cfg.flexible = true;
+  cfg.track_history = false;
+
+  std::printf("A. residual normalization (paper's anti-stagnation fix):\n");
+  report("normalized (paper)", core::solve_poisson(m, prob, cfg));
+  cfg.gnn_normalize = false;
+  report("un-normalized", core::solve_poisson(m, prob, cfg));
+  cfg.gnn_normalize = true;
+
+  std::printf("B. coarse-space level:\n");
+  report("two-level (paper)", core::solve_poisson(m, prob, cfg));
+  cfg.preconditioner = core::PrecondKind::kDdmGnn1;
+  report("one-level", core::solve_poisson(m, prob, cfg));
+  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+
+  std::printf("C. Dirichlet-flag input channel (our deviation):\n");
+  {
+    core::ZooSpec no_flag = spec;
+    no_flag.model.dirichlet_flag = false;
+    no_flag.tag += "-noflag";
+    // Equal (reduced) budgets for a fair pair.
+    core::ZooSpec with_flag = spec;
+    with_flag.tag += "-flagpair";
+    for (core::ZooSpec* s : {&no_flag, &with_flag}) {
+      s->training.epochs = std::max(8, s->training.epochs / 3);
+      s->training.wall_clock_budget_s =
+          std::max(10.0, s->training.wall_clock_budget_s / 3.0);
+    }
+    const gnn::DssModel m_noflag = core::get_or_train_model(no_flag, &data);
+    const gnn::DssModel m_flag = core::get_or_train_model(with_flag, &data);
+    cfg.model = &m_flag;
+    report("with flag (equal budget)", core::solve_poisson(m, prob, cfg));
+    cfg.model = &m_noflag;
+    report("without flag (strict paper arch)", core::solve_poisson(m, prob, cfg));
+    cfg.model = &model;
+  }
+
+  std::printf("D. inference-time refinement passes:\n");
+  for (const int steps : {0, 1, 2, 3}) {
+    cfg.gnn_refinement_steps = steps;
+    char label[64];
+    std::snprintf(label, sizeof(label), "refinement=%d%s", steps,
+                  steps == 0 ? " (paper protocol)" : "");
+    report(label, core::solve_poisson(m, prob, cfg));
+  }
+  cfg.gnn_refinement_steps = 0;
+
+  std::printf("E. Krylov variant for the non-symmetric GNN preconditioner:\n");
+  cfg.flexible = false;
+  report("plain PCG (Algorithm 1)", core::solve_poisson(m, prob, cfg));
+  cfg.flexible = true;
+  report("flexible PCG (Polak-Ribiere)", core::solve_poisson(m, prob, cfg));
+
+  std::printf("\nreference: DDM-LU on the same problem:\n");
+  cfg.preconditioner = core::PrecondKind::kDdmLu;
+  cfg.flexible = false;
+  report("ddm-lu", core::solve_poisson(m, prob, cfg));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces **Fig. 5 — large-scale out-of-distribution test**: a caricatural
+// Formula-1 domain with holes (cockpit + wing stripes), far larger than any
+// training mesh (paper: 233,246 nodes, 234 subdomains), solved to a relative
+// residual of 1e-9 with PCG-DDM-GNN, PCG-DDM-LU and plain CG. Prints the
+// residual-vs-iteration series (Fig. 5b) and writes the full curves to CSV.
+//
+// Expected shape (paper): both DDM methods converge steeply and almost in
+// parallel; CG crawls. DDM-GNN keeps converging *below its training
+// precision* thanks to the §III-A normalization.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/hybrid_solver.hpp"
+#include "core/model_zoo.hpp"
+
+int main() {
+  using namespace ddmgnn;
+  bench::print_header("Fig. 5: large-scale F1 domain, convergence to 1e-9");
+
+  const core::ZooSpec spec = core::default_spec(10, 10);
+  const gnn::DssModel model = core::get_or_train_model(spec);
+
+  double f1_scale;  // stretches the F1 silhouette; N grows ~quadratically
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: f1_scale = 0.8; break;
+    case BenchScale::kPaper: f1_scale = 3.4; break;  // ≈233k nodes
+    default: f1_scale = 1.7; break;                  // ≈60k nodes
+  }
+  // Element size matching the training distribution of the current scale.
+  const mesh::Domain unit_blob = mesh::random_domain(1);
+  const double h = std::sqrt(
+      unit_blob.area() /
+      (0.8660254 * static_cast<double>(spec.dataset.mesh_target_nodes)));
+  const mesh::Domain dom = mesh::f1_domain(f1_scale);
+  const mesh::Mesh m = mesh::generate_mesh(dom, h, /*seed=*/5);
+  const auto q = fem::sample_quadratic_data(5, f1_scale);
+  const auto prob = fem::assemble_poisson(
+      m, [&](const mesh::Point2& p) { return q.f(p); },
+      [&](const mesh::Point2& p) { return q.g(p); });
+  std::printf("F1 mesh: %d nodes, %d triangles, %zu holes\n", m.num_nodes(),
+              m.num_triangles(), dom.holes.size());
+
+  core::HybridConfig cfg;
+  cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
+  cfg.overlap = 2;
+  cfg.rel_tol = 1e-9;
+  cfg.max_iterations = 20000;
+  cfg.model = &model;
+
+  std::error_code ec;
+  std::filesystem::create_directories(artifact_dir(), ec);
+  std::ofstream csv(artifact_dir() + "/fig5_convergence.csv");
+  csv << "method,iteration,rel_residual\n";
+
+  struct Run {
+    const char* label;
+    core::PrecondKind kind;
+    bool flexible;
+  };
+  for (const Run run : {Run{"PCG-DDM-GNN", core::PrecondKind::kDdmGnn, true},
+                        Run{"PCG-DDM-LU", core::PrecondKind::kDdmLu, false},
+                        Run{"CG", core::PrecondKind::kNone, false}}) {
+    cfg.preconditioner = run.kind;
+    cfg.flexible = run.flexible;
+    const auto rep = core::solve_poisson(m, prob, cfg);
+    std::printf("\n%-12s K=%-4d iters=%-6d final=%.2e  T=%.2fs (precond %.2fs)"
+                "  %s\n",
+                run.label, rep.num_subdomains, rep.result.iterations,
+                rep.result.final_relative_residual, rep.result.total_seconds,
+                rep.result.precond_seconds,
+                rep.result.converged ? "converged" : "NOT converged");
+    // Print a downsampled residual series (the Fig. 5b curve).
+    const auto& h5 = rep.result.history;
+    const std::size_t step = std::max<std::size_t>(1, h5.size() / 12);
+    std::printf("  curve: ");
+    for (std::size_t i = 0; i < h5.size(); i += step) {
+      std::printf("(%zu, %.1e) ", i, h5[i]);
+    }
+    if (!h5.empty()) std::printf("(%zu, %.1e)", h5.size() - 1, h5.back());
+    std::printf("\n");
+    for (std::size_t i = 0; i < h5.size(); ++i) {
+      csv << run.label << "," << i << "," << h5[i] << "\n";
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\nwrote %s/fig5_convergence.csv\n", artifact_dir().c_str());
+  return 0;
+}

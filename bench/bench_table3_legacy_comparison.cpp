@@ -1,0 +1,93 @@
+// Reproduces **Table III — Benchmark to legacy C++ solver**: for growing
+// problem sizes N and three subdomain counts K per size, compare
+//   IC(0)   — the optimized "legacy" baseline preconditioner,
+//   DDM-LU  — two-level ASM with exact (sparse Cholesky) local solves,
+//   DDM-GNN — two-level ASM with DSS local solves,
+// reporting iterations Niter, total solve time T, and the time spent inside
+// the preconditioner (the paper's T_lu / T_gnn columns). Tolerance 1e-3, as
+// in the paper.
+//
+// Expected shape (paper): Niter of the DDM methods is nearly flat in N while
+// IC(0) grows; T_gnn dominates DDM-GNN's runtime (inference-bound), keeping
+// it slower in wall-clock than the optimized classical solvers on CPU/GPU of
+// this class — the paper's own conclusion.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hybrid_solver.hpp"
+#include "core/model_zoo.hpp"
+
+int main() {
+  using namespace ddmgnn;
+  bench::print_header("Table III: benchmark vs legacy preconditioners (tol 1e-3)");
+
+  const core::ZooSpec spec = core::default_spec(10, 10);
+  const gnn::DssModel model = core::get_or_train_model(spec);
+  const la::Index ns_train = spec.dataset.subdomain_target_nodes;
+
+  std::vector<double> n_factors;          // multiples of the training mesh
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: n_factors = {2.0, 5.0}; break;
+    case BenchScale::kPaper:
+      n_factors = {1.5, 6.0, 14.0, 37.0, 58.0, 87.0};  // 10k..600k @ 7k train
+      break;
+    default: n_factors = {2.0, 5.0, 12.0, 24.0}; break;
+  }
+  const std::vector<double> ns_factors = {2.0, 1.0, 0.5};
+
+  std::printf("\n%8s %5s | %22s | %30s | %30s\n", "N", "K", "IC(0)",
+              "DDM-LU", "DDM-GNN");
+  std::printf("%8s %5s | %10s %11s | %6s %11s %11s | %6s %11s %11s\n", "", "",
+              "Niter", "T", "Niter", "T", "T_lu", "Niter", "T", "T_gnn");
+  std::printf("-----------------------------------------------------------------"
+              "-----------------------------------------\n");
+  const std::uint64_t seed = 1777;
+  for (const double nf : n_factors) {
+    const la::Index target_n = static_cast<la::Index>(
+        nf * spec.dataset.mesh_target_nodes);
+    auto [m, prob] = bench::make_problem(target_n, seed);
+    bool first_row = true;
+    for (const double nsf : ns_factors) {
+      core::HybridConfig cfg;
+      cfg.subdomain_target_nodes = static_cast<la::Index>(nsf * ns_train);
+      cfg.overlap = 2;
+      cfg.rel_tol = 1e-3;
+      cfg.max_iterations = 3000;
+      cfg.model = &model;
+      cfg.track_history = false;
+
+      cfg.preconditioner = core::PrecondKind::kDdmLu;
+      const auto rl = core::solve_poisson(m, prob, cfg);
+
+      cfg.preconditioner = core::PrecondKind::kDdmGnn;
+      cfg.flexible = true;
+      const auto rg = core::solve_poisson(m, prob, cfg);
+      cfg.flexible = false;
+
+      if (first_row) {
+        cfg.preconditioner = core::PrecondKind::kIc0;
+        const auto ri = core::solve_poisson(m, prob, cfg);
+        std::printf("%8d %5d | %10d %11.4f | %6d %11.4f %11.4f | %6d %11.4f %11.4f\n",
+                    m.num_nodes(), rl.num_subdomains, ri.result.iterations,
+                    ri.result.total_seconds, rl.result.iterations,
+                    rl.result.total_seconds, rl.result.precond_seconds,
+                    rg.result.iterations, rg.result.total_seconds,
+                    rg.result.precond_seconds);
+        first_row = false;
+      } else {
+        std::printf("%8s %5d | %10s %11s | %6d %11.4f %11.4f | %6d %11.4f %11.4f\n",
+                    "", rl.num_subdomains, "", "", rl.result.iterations,
+                    rl.result.total_seconds, rl.result.precond_seconds,
+                    rg.result.iterations, rg.result.total_seconds,
+                    rg.result.precond_seconds);
+      }
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\npaper shape check: DDM Niter ~flat in N vs IC(0) growing; T_gnn/T\n"
+      "ratio large (inference-bound), DDM-GNN slower in wall-clock than the\n"
+      "optimized classical baselines — matching the paper's conclusion.\n");
+  return 0;
+}

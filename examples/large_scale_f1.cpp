@@ -1,0 +1,51 @@
+// Domain-specific example: the paper's Fig. 5 scenario as an application —
+// a caricatural Formula-1 geometry with holes (cockpit, wing stripes), much
+// larger than anything in the training distribution, solved to 1e-9 with the
+// hybrid solver. Demonstrates out-of-distribution generalization in both
+// geometry (holes, elongated shape) and scale.
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "core/hybrid_solver.hpp"
+#include "core/model_zoo.hpp"
+#include "fem/poisson.hpp"
+#include "mesh/generator.hpp"
+
+int main() {
+  using namespace ddmgnn;
+  std::printf("=== Large-scale F1 domain (out-of-distribution) ===\n");
+  const core::ZooSpec spec = core::default_spec(10, 10);
+  const gnn::DssModel model = core::get_or_train_model(spec);
+
+  const double f1_scale = bench_scale() == BenchScale::kSmoke ? 0.8 : 1.4;
+  const mesh::Domain dom = mesh::f1_domain(f1_scale);
+  const mesh::Domain unit = mesh::random_domain(1);
+  const double h = std::sqrt(
+      unit.area() /
+      (0.8660254 * static_cast<double>(spec.dataset.mesh_target_nodes)));
+  const mesh::Mesh m = mesh::generate_mesh(dom, h, 11);
+  const auto q = fem::sample_quadratic_data(11, f1_scale);
+  const auto prob = fem::assemble_poisson(
+      m, [&](const mesh::Point2& p) { return q.f(p); },
+      [&](const mesh::Point2& p) { return q.g(p); });
+  std::printf("mesh: %d nodes, %zu holes (training meshes: ~%d nodes, no "
+              "holes)\n",
+              m.num_nodes(), dom.holes.size(), spec.dataset.mesh_target_nodes);
+
+  core::HybridConfig cfg;
+  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
+  cfg.rel_tol = 1e-9;  // well below the training precision
+  cfg.max_iterations = 5000;
+  cfg.model = &model;
+  cfg.flexible = true;
+  const auto rep = core::solve_poisson(m, prob, cfg);
+  std::printf("PCG-DDM-GNN: K=%d, iters=%d, final rel.res=%.2e, %.2fs  %s\n",
+              rep.num_subdomains, rep.result.iterations,
+              rep.result.final_relative_residual, rep.result.total_seconds,
+              rep.result.converged ? "converged" : "NOT CONVERGED");
+  std::printf("residual check: %.2e\n",
+              fem::relative_residual(prob.A, prob.b, rep.solution));
+  return rep.result.converged ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Domain-specific example: the pressure-Poisson solve of a fractional-step
+// incompressible-flow method — the workload the paper's introduction
+// motivates (Guermond & Quartapelle's projection scheme). Every time step
+// needs one Poisson solve with a *new right-hand side* on the *same* mesh and
+// operator; the DDM-GNN preconditioner amortizes its setup (partition,
+// graphs) across all steps, exactly the usage pattern intended for CFD codes.
+//
+// The velocity field here is synthetic (a decaying swirl); what matters is
+// the solver loop: assemble once, re-solve many times to tight tolerance.
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "core/gnn_subdomain_solver.hpp"
+#include "core/model_zoo.hpp"
+#include "fem/poisson.hpp"
+#include "mesh/generator.hpp"
+#include "partition/decomposition.hpp"
+#include "precond/asm_precond.hpp"
+#include "solver/krylov.hpp"
+
+int main() {
+  using namespace ddmgnn;
+  std::printf("=== Pressure-projection loop with a reusable DDM-GNN "
+              "preconditioner ===\n");
+
+  // Model from the zoo (trains on first use, cached afterwards).
+  const core::ZooSpec spec = core::default_spec(10, 10);
+  const gnn::DssModel model = core::get_or_train_model(spec);
+
+  // One channel-like domain and operator for the whole simulation.
+  const std::uint64_t seed = 2024;
+  const mesh::Mesh m = mesh::generate_mesh_target_nodes(
+      mesh::random_domain(seed), 3 * spec.dataset.mesh_target_nodes, seed);
+  const auto prob = fem::assemble_poisson(
+      m, [](const mesh::Point2&) { return 0.0; },
+      [](const mesh::Point2&) { return 0.0; });
+  std::printf("mesh: %d nodes\n", m.num_nodes());
+
+  // Build the preconditioner ONCE (setup amortized across time steps).
+  Timer setup;
+  const auto dec = partition::decompose_target_size(
+      m.adj_ptr(), m.adj(), spec.dataset.subdomain_target_nodes, 2, seed);
+  precond::AdditiveSchwarz ddm_gnn(
+      prob.A, dec,
+      std::make_unique<core::GnnSubdomainSolver>(model, m, prob.dirichlet));
+  std::printf("setup: K=%d subdomains in %.3fs\n", dec.num_parts,
+              setup.seconds());
+
+  // Time stepping: div(u*) drives the pressure Poisson equation.
+  const int num_steps = bench_scale() == BenchScale::kSmoke ? 3 : 8;
+  const auto pts = m.points();
+  std::vector<double> rhs(prob.b.size());
+  int total_iters = 0;
+  Timer loop;
+  for (int step = 0; step < num_steps; ++step) {
+    const double t = 0.05 * step;
+    // Synthetic intermediate-velocity divergence: decaying swirl + drift.
+    for (la::Index i = 0; i < m.num_nodes(); ++i) {
+      if (prob.dirichlet[i]) {
+        rhs[i] = 0.0;
+        continue;
+      }
+      const double x = pts[i].x, y = pts[i].y;
+      rhs[i] = std::exp(-0.8 * t) *
+               (std::sin(3.0 * x + t) * std::cos(2.0 * y) +
+                0.3 * std::cos(5.0 * y - t));
+    }
+    std::vector<double> pressure(rhs.size(), 0.0);
+    solver::SolveOptions opts;
+    opts.rel_tol = 1e-6;  // fractional-step methods need tight pressures
+    opts.max_iterations = 2000;
+    opts.track_history = false;
+    const auto res =
+        solver::flexible_pcg(prob.A, ddm_gnn, rhs, pressure, opts);
+    total_iters += res.iterations;
+    std::printf("  step %2d: iters=%-4d rel_res=%.2e  (%.3fs, precond %.3fs)\n",
+                step, res.iterations, res.final_relative_residual,
+                res.total_seconds, res.precond_seconds);
+    if (!res.converged) {
+      std::printf("  step %2d did not converge!\n", step);
+      return 1;
+    }
+  }
+  std::printf("total: %d steps, %d PCG iterations, %.2fs after one-time "
+              "setup\n",
+              num_steps, total_iters, loop.seconds());
+  return 0;
+}

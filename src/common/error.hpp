@@ -1,0 +1,44 @@
+// Error-handling helpers: cheap runtime contract checks that abort with a
+// readable message. Used at public API boundaries; hot inner loops rely on
+// DDMGNN_ASSERT which compiles out in release builds unless
+// DDMGNN_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ddmgnn {
+
+/// Thrown by DDMGNN_CHECK on contract violations at API boundaries.
+class ContractError : public std::runtime_error {
+ public:
+  explicit ContractError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_contract(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw ContractError(std::string(file) + ":" + std::to_string(line) +
+                      ": check `" + cond + "` failed" +
+                      (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace ddmgnn
+
+/// Always-on contract check (throws ContractError). Use at API boundaries.
+#define DDMGNN_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ddmgnn::detail::raise_contract(#cond, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#if defined(DDMGNN_ENABLE_ASSERTS)
+#define DDMGNN_ASSERT(cond) DDMGNN_CHECK(cond, "assert")
+#else
+#define DDMGNN_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,48 @@
+// Process-wide experiment options sourced from environment variables, so the
+// bench binaries can be scaled without recompiling:
+//   DDMGNN_BENCH_SCALE = smoke | default | paper
+//   DDMGNN_ARTIFACT_DIR = directory for cached trained models (default
+//                         "artifacts" under the current working directory)
+//   DDMGNN_TRAIN_BUDGET_S = wall-clock cap (seconds) per training run
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace ddmgnn {
+
+/// Bench sizing presets (see DESIGN.md §2).
+enum class BenchScale { kSmoke, kDefault, kPaper };
+
+inline BenchScale bench_scale() {
+  if (const char* env = std::getenv("DDMGNN_BENCH_SCALE")) {
+    const std::string s(env);
+    if (s == "smoke") return BenchScale::kSmoke;
+    if (s == "paper") return BenchScale::kPaper;
+  }
+  return BenchScale::kDefault;
+}
+
+inline const char* bench_scale_name() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: return "smoke";
+    case BenchScale::kPaper: return "paper";
+    default: return "default";
+  }
+}
+
+inline std::string artifact_dir() {
+  if (const char* env = std::getenv("DDMGNN_ARTIFACT_DIR")) return env;
+  return "artifacts";
+}
+
+/// Wall-clock training budget in seconds (0 = unlimited).
+inline double train_budget_seconds(double fallback) {
+  if (const char* env = std::getenv("DDMGNN_TRAIN_BUDGET_S")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace ddmgnn

@@ -1,0 +1,53 @@
+// Thin OpenMP helpers. All parallel loops in the library go through these so
+// thread-count policy lives in one place (DDMGNN_THREADS env var overrides
+// OMP_NUM_THREADS; benches report the effective count).
+#pragma once
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace ddmgnn {
+
+/// Effective worker-thread count (env DDMGNN_THREADS > OpenMP default).
+inline int num_threads() {
+  static const int n = [] {
+    if (const char* env = std::getenv("DDMGNN_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return omp_get_max_threads();
+  }();
+  return n;
+}
+
+/// Parallel loop over [0, n) with a grain size below which it runs serially
+/// (avoids fork/join overhead on tiny subdomain kernels).
+template <typename Fn>
+void parallel_for(long n, const Fn& body, long grain = 256) {
+  if (n <= 0) return;
+  if (n < grain || num_threads() == 1) {
+    for (long i = 0; i < n; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(static) num_threads(num_threads())
+  for (long i = 0; i < n; ++i) body(i);
+}
+
+/// Parallel loop with dynamic scheduling for irregular task costs
+/// (per-subdomain factorizations, per-graph GNN inference).
+template <typename Fn>
+void parallel_for_dynamic(long n, const Fn& body) {
+  if (n <= 0) return;
+  if (n == 1 || num_threads() == 1) {
+    for (long i = 0; i < n; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads())
+  for (long i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace ddmgnn

@@ -1,0 +1,57 @@
+// Wall-clock timing utilities used by the benchmark harnesses (Table III /
+// Fig. 6 report elapsed seconds) and by the wall-clock training budget guard.
+#pragma once
+
+#include <chrono>
+
+namespace ddmgnn {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (e.g. total time spent
+/// applying a preconditioner across all PCG iterations, the paper's T_lu and
+/// T_gnn columns).
+class Accumulator {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double total() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII window on an Accumulator.
+class ScopedAccumulate {
+ public:
+  explicit ScopedAccumulate(Accumulator& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedAccumulate() { acc_.stop(); }
+  ScopedAccumulate(const ScopedAccumulate&) = delete;
+  ScopedAccumulate& operator=(const ScopedAccumulate&) = delete;
+
+ private:
+  Accumulator& acc_;
+};
+
+}  // namespace ddmgnn

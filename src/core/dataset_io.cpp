@@ -1,0 +1,163 @@
+#include "core/dataset_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44534454;  // "DSDT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool read_vec(std::ifstream& in, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, n)) return false;
+  if (n > (1ull << 32)) return false;  // sanity bound against corrupt files
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return in.good();
+}
+
+void write_topology(std::ofstream& out, const gnn::GraphTopology& t) {
+  write_pod(out, t.n);
+  write_vec(out, t.recv);
+  write_vec(out, t.send);
+  write_vec(out, t.attr);
+  write_vec(out, t.dirichlet);
+  write_pod(out, t.a_local.rows());
+  std::vector<la::Offset> rp(t.a_local.row_ptr().begin(),
+                             t.a_local.row_ptr().end());
+  std::vector<la::Index> ci(t.a_local.col_idx().begin(),
+                            t.a_local.col_idx().end());
+  std::vector<double> va(t.a_local.values().begin(),
+                         t.a_local.values().end());
+  write_vec(out, rp);
+  write_vec(out, ci);
+  write_vec(out, va);
+}
+
+std::shared_ptr<gnn::GraphTopology> read_topology(std::ifstream& in) {
+  auto t = std::make_shared<gnn::GraphTopology>();
+  if (!read_pod(in, t->n)) return nullptr;
+  if (!read_vec(in, t->recv) || !read_vec(in, t->send) ||
+      !read_vec(in, t->attr) || !read_vec(in, t->dirichlet)) {
+    return nullptr;
+  }
+  la::Index rows = 0;
+  if (!read_pod(in, rows)) return nullptr;
+  std::vector<la::Offset> rp;
+  std::vector<la::Index> ci;
+  std::vector<double> va;
+  if (!read_vec(in, rp) || !read_vec(in, ci) || !read_vec(in, va)) {
+    return nullptr;
+  }
+  try {
+    t->a_local = la::CsrMatrix(rows, rows, std::move(rp), std::move(ci),
+                               std::move(va));
+  } catch (const ContractError&) {
+    return nullptr;
+  }
+  return t;
+}
+
+void write_split(std::ofstream& out,
+                 const std::vector<gnn::GraphSample>& split,
+                 const std::map<const gnn::GraphTopology*, std::uint32_t>& ids) {
+  write_pod(out, static_cast<std::uint64_t>(split.size()));
+  for (const auto& s : split) {
+    write_pod(out, ids.at(s.topo.get()));
+    write_vec(out, s.rhs);
+  }
+}
+
+bool read_split(std::ifstream& in,
+                const std::vector<std::shared_ptr<gnn::GraphTopology>>& topos,
+                std::vector<gnn::GraphSample>& split) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, n)) return false;
+  split.resize(n);
+  for (auto& s : split) {
+    std::uint32_t id = 0;
+    if (!read_pod(in, id) || id >= topos.size()) return false;
+    s.topo = topos[id];
+    if (!read_vec(in, s.rhs)) return false;
+    if (s.rhs.size() != static_cast<std::size_t>(s.topo->n)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_dataset(const DssDataset& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DDMGNN_CHECK(out.good(), "save_dataset: cannot open " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  // Deduplicate topologies across all splits.
+  std::map<const gnn::GraphTopology*, std::uint32_t> ids;
+  std::vector<const gnn::GraphTopology*> order;
+  for (const auto* split : {&data.train, &data.validation, &data.test}) {
+    for (const auto& s : *split) {
+      if (ids.emplace(s.topo.get(), static_cast<std::uint32_t>(order.size()))
+              .second) {
+        order.push_back(s.topo.get());
+      }
+    }
+  }
+  write_pod(out, static_cast<std::uint64_t>(order.size()));
+  for (const auto* t : order) write_topology(out, *t);
+  write_split(out, data.train, ids);
+  write_split(out, data.validation, ids);
+  write_split(out, data.test, ids);
+  DDMGNN_CHECK(out.good(), "save_dataset: write failed for " + path);
+}
+
+std::optional<DssDataset> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::uint32_t magic = 0, version = 0;
+  if (!read_pod(in, magic) || !read_pod(in, version) || magic != kMagic ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+  std::uint64_t num_topos = 0;
+  if (!read_pod(in, num_topos) || num_topos > (1u << 24)) return std::nullopt;
+  std::vector<std::shared_ptr<gnn::GraphTopology>> topos(num_topos);
+  for (auto& t : topos) {
+    t = read_topology(in);
+    if (!t) return std::nullopt;
+  }
+  DssDataset data;
+  if (!read_split(in, topos, data.train) ||
+      !read_split(in, topos, data.validation) ||
+      !read_split(in, topos, data.test)) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+}  // namespace ddmgnn::core

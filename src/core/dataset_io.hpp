@@ -1,0 +1,19 @@
+// Dataset (de)serialization: harvested corpora can be saved once and reused
+// across training runs / machines — the workflow equivalent of the paper's
+// stored 117k-sample dataset. Topologies are deduplicated: each distinct
+// subdomain graph is written once, samples reference it by index.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace ddmgnn::core {
+
+void save_dataset(const DssDataset& data, const std::string& path);
+
+/// Returns nullopt on missing/corrupt files.
+std::optional<DssDataset> load_dataset(const std::string& path);
+
+}  // namespace ddmgnn::core

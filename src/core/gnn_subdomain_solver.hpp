@@ -1,0 +1,71 @@
+// The GNN local solver that turns two-level ASM into the paper's DDM-GNN
+// preconditioner (§III-A). For each subdomain i, per preconditioner
+// application:
+//
+//   1. norm_i = ‖R_i r‖;  if 0, the correction is 0            (trivial case)
+//   2. r̃_i = DSSθ(G_i) with G_i = (Ω_h,i, R_i r / norm_i)      (Eq. 14/15/17)
+//   3. z_i = norm_i · r̃_i                                      (Eq. 16 local)
+//
+// The normalization is the paper's fix for vanishing residual inputs: as PCG
+// converges, r → 0, and an un-normalized GNN would collapse to the zero
+// correction, stalling the solver. The ablation bench switches it off.
+//
+// All subdomains are solved concurrently (OpenMP over graphs — the CPU
+// analogue of the paper's batched GPU inference).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/dss_model.hpp"
+#include "gnn/graph.hpp"
+#include "mesh/mesh.hpp"
+#include "precond/subdomain_solver.hpp"
+
+namespace ddmgnn::core {
+
+class GnnSubdomainSolver final : public precond::SubdomainSolver {
+ public:
+  struct Options {
+    bool normalize_input = true;  // the §III-A normalization (ablatable)
+    double zero_threshold = 1e-300;
+    /// Extra residual-correction passes per local solve:
+    ///   v ← v + ‖res‖ · DSSθ(G_i(res/‖res‖)),  res = r_i − A_i v.
+    /// 0 reproduces the paper exactly (one inference per subdomain per PCG
+    /// iteration). Each step multiplies local accuracy at one extra
+    /// inference — the repo's compensation for its smaller CPU training
+    /// budget (see DESIGN.md); the ablation bench quantifies it.
+    int refinement_steps = 0;
+  };
+
+  /// `model` must outlive the solver. `m` supplies node geometry and the
+  /// mesh adjacency (subdomain message graphs follow the sub-mesh, Eq. 17);
+  /// `dirichlet` the global Dirichlet flags.
+  GnnSubdomainSolver(const gnn::DssModel& model, const mesh::Mesh& m,
+                     std::span<const std::uint8_t> dirichlet, Options options);
+  GnnSubdomainSolver(const gnn::DssModel& model, const mesh::Mesh& m,
+                     std::span<const std::uint8_t> dirichlet)
+      : GnnSubdomainSolver(model, m, dirichlet, Options{}) {}
+
+  void setup(std::vector<la::CsrMatrix> local_matrices,
+             const partition::Decomposition& dec) override;
+  void solve_all(const std::vector<std::vector<double>>& r_loc,
+                 std::vector<std::vector<double>>& z_loc) const override;
+  std::string name() const override { return "gnn"; }
+  /// A neural local solve is not a symmetric linear map.
+  bool is_symmetric() const override { return false; }
+
+  const std::vector<std::shared_ptr<gnn::GraphTopology>>& topologies() const {
+    return topologies_;
+  }
+
+ private:
+  const gnn::DssModel* model_;
+  std::vector<mesh::Point2> coords_;
+  std::vector<std::uint8_t> dirichlet_;
+  la::CsrMatrix mesh_pattern_;  // global mesh adjacency (unit values)
+  Options options_;
+  std::vector<std::shared_ptr<gnn::GraphTopology>> topologies_;
+};
+
+}  // namespace ddmgnn::core

@@ -1,0 +1,96 @@
+#include "core/model_zoo.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/options.hpp"
+#include "gnn/model_io.hpp"
+
+namespace ddmgnn::core {
+
+ZooSpec default_spec(int iterations, int latent) {
+  ZooSpec spec;
+  spec.model.iterations = iterations;
+  spec.model.latent = latent;
+  spec.model.hidden = 10;
+  spec.model.alpha = 0.05f;
+  spec.model.dirichlet_flag = true;
+
+  switch (bench_scale()) {
+    case BenchScale::kSmoke:
+      spec.tag = "smoke";
+      spec.dataset.num_global_problems = 2;
+      spec.dataset.mesh_target_nodes = 900;
+      spec.dataset.subdomain_target_nodes = 220;
+      spec.training.epochs = 30;
+      spec.training.batch_size = 32;
+      spec.training.learning_rate = 1e-2;
+      spec.training.clip_norm = 0.1;
+      spec.training.wall_clock_budget_s = train_budget_seconds(45.0);
+      break;
+    case BenchScale::kPaper:
+      spec.tag = "paper";
+      spec.dataset.num_global_problems = 500;
+      spec.dataset.mesh_target_nodes = 7000;
+      spec.dataset.subdomain_target_nodes = 1000;
+      spec.training.epochs = 400;
+      spec.training.batch_size = 100;
+      spec.training.wall_clock_budget_s = train_budget_seconds(0.0);
+      // The strict paper architecture (no flag channel, α = 1e-3) for exact
+      // weight-count parity needs the full training budget to pay off.
+      spec.model.alpha = 1e-3f;
+      spec.model.dirichlet_flag = false;
+      break;
+    default:
+      spec.tag = "default";
+      spec.dataset.num_global_problems = 6;
+      spec.dataset.mesh_target_nodes = 2200;
+      spec.dataset.subdomain_target_nodes = 350;
+      spec.training.epochs = 220;
+      spec.training.batch_size = 64;
+      spec.training.learning_rate = 1e-2;  // paper's lr
+      spec.training.clip_norm = 0.1;  // paper uses 1e-2; 0.1 trains faster at
+                                      // this reduced epoch budget
+      spec.training.plateau_patience = 12;
+      spec.training.wall_clock_budget_s = train_budget_seconds(420.0);
+      break;
+  }
+  spec.training.seed = 97;
+  spec.dataset.seed = 4242;
+  return spec;
+}
+
+std::string model_cache_path(const ZooSpec& spec) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "dss_k%d_d%d_h%d_f%d_a%g_%s.bin",
+                spec.model.iterations, spec.model.latent, spec.model.hidden,
+                spec.model.dirichlet_flag ? 1 : 0,
+                static_cast<double>(spec.model.alpha), spec.tag.c_str());
+  return artifact_dir() + "/" + buf;
+}
+
+gnn::DssModel get_or_train_model(const ZooSpec& spec,
+                                 const DssDataset* dataset,
+                                 gnn::TrainReport* report) {
+  const std::string path = model_cache_path(spec);
+  if (auto cached = gnn::load_model(path)) {
+    return std::move(*cached);
+  }
+  DssDataset local;
+  if (dataset == nullptr) {
+    local = generate_dataset(spec.dataset);
+    dataset = &local;
+  }
+  gnn::DssModel model(spec.model, spec.training.seed);
+  gnn::TrainReport r =
+      gnn::train_dss(model, dataset->train, dataset->validation, spec.training);
+  if (report != nullptr) *report = r;
+  std::error_code ec;
+  std::filesystem::create_directories(artifact_dir(), ec);
+  if (!ec) {
+    gnn::save_model(model, path);
+  }
+  return model;
+}
+
+}  // namespace ddmgnn::core

@@ -1,0 +1,36 @@
+// Model zoo: trains (or loads from the artifact cache) DSS models for the
+// bench harnesses. Cache key = (k̄, d, hidden, flag, alpha, dataset scale), so
+// Table II's 10 configurations train once and are reused by Fig. 6 and the
+// solve benches.
+#pragma once
+
+#include <string>
+
+#include "core/dataset.hpp"
+#include "gnn/dss_model.hpp"
+#include "gnn/trainer.hpp"
+
+namespace ddmgnn::core {
+
+struct ZooSpec {
+  gnn::DssConfig model;
+  DatasetConfig dataset;
+  gnn::TrainConfig training;
+  std::string tag = "default";  // distinguishes dataset scales in the cache
+};
+
+/// Default spec for the given (k̄, d) at the current bench scale
+/// (DDMGNN_BENCH_SCALE): smoke = tiny-and-fast, default = minutes,
+/// paper = the full §IV-B recipe (hours on CPU).
+ZooSpec default_spec(int iterations, int latent);
+
+/// Cache path for a spec inside the artifact dir.
+std::string model_cache_path(const ZooSpec& spec);
+
+/// Load the cached model or train + cache it. `dataset` may be shared
+/// between calls to avoid regenerating; pass nullptr to generate internally.
+gnn::DssModel get_or_train_model(const ZooSpec& spec,
+                                 const DssDataset* dataset = nullptr,
+                                 gnn::TrainReport* report = nullptr);
+
+}  // namespace ddmgnn::core

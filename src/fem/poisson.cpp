@@ -1,0 +1,91 @@
+#include "fem/poisson.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/vector_ops.hpp"
+
+namespace ddmgnn::fem {
+
+PoissonProblem assemble_poisson(const Mesh& m, const ScalarField& f,
+                                const ScalarField& g) {
+  const Index n = m.num_nodes();
+  const auto pts = m.points();
+  PoissonProblem out;
+  out.dirichlet.assign(n, 0);
+  for (Index i = 0; i < n; ++i) out.dirichlet[i] = m.is_boundary(i) ? 1 : 0;
+
+  // Cache boundary values once.
+  std::vector<double> gval(n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    if (out.dirichlet[i]) gval[i] = g(pts[i]);
+  }
+
+  out.b.assign(n, 0.0);
+  la::CooBuilder coo(n, n);
+  coo.reserve(static_cast<std::size_t>(m.num_triangles()) * 9 + n);
+
+  for (Index t = 0; t < m.num_triangles(); ++t) {
+    const auto& tri = m.triangles()[t];
+    const Point2& p0 = pts[tri[0]];
+    const Point2& p1 = pts[tri[1]];
+    const Point2& p2 = pts[tri[2]];
+    const double area = 0.5 * mesh::orient2d(p0, p1, p2);
+    DDMGNN_CHECK(area > 0.0, "assemble_poisson: degenerate/flipped triangle");
+    // Gradients of the three barycentric basis functions.
+    const double inv2a = 1.0 / (2.0 * area);
+    const Point2 grad[3] = {
+        {(p1.y - p2.y) * inv2a, (p2.x - p1.x) * inv2a},
+        {(p2.y - p0.y) * inv2a, (p0.x - p2.x) * inv2a},
+        {(p0.y - p1.y) * inv2a, (p1.x - p0.x) * inv2a},
+    };
+    // Lumped load: each vertex receives area/3 · f(vertex).
+    for (int a = 0; a < 3; ++a) {
+      const Index ia = tri[a];
+      if (!out.dirichlet[ia]) out.b[ia] += (area / 3.0) * f(pts[ia]);
+    }
+    // Element stiffness K_ab = area · (∇φ_a · ∇φ_b), folded through the
+    // symmetric Dirichlet elimination.
+    for (int a = 0; a < 3; ++a) {
+      const Index ia = tri[a];
+      if (out.dirichlet[ia]) continue;  // row eliminated
+      for (int bidx = 0; bidx < 3; ++bidx) {
+        const Index ib = tri[bidx];
+        const double k = area * grad[a].dot(grad[bidx]);
+        if (out.dirichlet[ib]) {
+          out.b[ia] -= k * gval[ib];  // known value moves to the rhs
+        } else {
+          coo.add(ia, ib, k);
+        }
+      }
+    }
+  }
+  // Identity rows for Dirichlet dofs keep A SPD on the full space.
+  for (Index i = 0; i < n; ++i) {
+    if (out.dirichlet[i]) {
+      coo.add(i, i, 1.0);
+      out.b[i] = gval[i];
+    }
+  }
+  out.A = std::move(coo).build();
+  return out;
+}
+
+QuadraticData sample_quadratic_data(std::uint64_t seed, double length_scale) {
+  Rng rng(seed ^ 0x6A09E667F3BCC909ull);
+  QuadraticData q;
+  for (double& c : q.r) c = rng.uniform(-10.0, 10.0);
+  q.length_scale = length_scale;
+  return q;
+}
+
+double relative_residual(const CsrMatrix& a, std::span<const double> b,
+                         std::span<const double> u) {
+  std::vector<double> r = a.apply(u);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  const double nb = la::norm2(b);
+  return nb == 0.0 ? la::norm2(r) : la::norm2(r) / nb;
+}
+
+}  // namespace ddmgnn::fem

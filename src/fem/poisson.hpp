@@ -1,0 +1,68 @@
+// P1 (linear Lagrange) finite-element discretization of the Poisson problem
+//   -Δu = f in Ω,  u = g on ∂Ω                                     (paper Eq. 1)
+// on unstructured triangle meshes, yielding the linear system A u = b (Eq. 2).
+//
+// Dirichlet conditions are imposed by *symmetric elimination*: boundary rows
+// and columns are replaced by identity, and the known boundary values are
+// moved to the right-hand side. The resulting A is SPD on the whole vector
+// space (identity on boundary dofs), which is exactly what CG/PCG needs, and
+// mirrors the paper's graph view where boundary nodes only feed the interior.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "mesh/mesh.hpp"
+
+namespace ddmgnn::fem {
+
+using la::CsrMatrix;
+using la::Index;
+using mesh::Mesh;
+using mesh::Point2;
+
+using ScalarField = std::function<double(const Point2&)>;
+
+/// Discretized Poisson problem: A u = b with Dirichlet data folded in.
+struct PoissonProblem {
+  CsrMatrix A;
+  std::vector<double> b;
+  /// 1 for Dirichlet (mesh-boundary) nodes — identity rows of A.
+  std::vector<std::uint8_t> dirichlet;
+};
+
+/// Assemble stiffness + load for (f, g) on `m`.
+PoissonProblem assemble_poisson(const Mesh& m, const ScalarField& f,
+                                const ScalarField& g);
+
+/// Random quadratic polynomial data of §IV-A (Eqs. 24–25):
+///   f(x,y) = r1 (x-1)² + r2 y² + r3
+///   g(x,y) = r4 x² + r5 y² + r6 x y + r7 x + r8 y + r9,  r_i ~ U[-10, 10].
+/// `length_scale` rescales the polynomials with the domain radius (the paper
+/// rescales f and g when growing meshes): both are evaluated at p/length_scale.
+struct QuadraticData {
+  double r[9];
+  double length_scale = 1.0;
+
+  double f(const Point2& p) const {
+    const double x = p.x / length_scale;
+    const double y = p.y / length_scale;
+    return r[0] * (x - 1.0) * (x - 1.0) + r[1] * y * y + r[2];
+  }
+  double g(const Point2& p) const {
+    const double x = p.x / length_scale;
+    const double y = p.y / length_scale;
+    return r[3] * x * x + r[4] * y * y + r[5] * x * y + r[6] * x + r[7] * y +
+           r[8];
+  }
+};
+
+QuadraticData sample_quadratic_data(std::uint64_t seed,
+                                    double length_scale = 1.0);
+
+/// ||b - A u|| / ||b||.
+double relative_residual(const CsrMatrix& a, std::span<const double> b,
+                         std::span<const double> u);
+
+}  // namespace ddmgnn::fem

@@ -1,0 +1,66 @@
+#include "gnn/batch.hpp"
+
+#include "common/error.hpp"
+
+namespace ddmgnn::gnn {
+
+BatchedSample batch_samples(std::span<const GraphSample> samples) {
+  DDMGNN_CHECK(!samples.empty(), "batch_samples: empty batch");
+  BatchedSample out;
+  out.offsets.assign(1, 0);
+  Index total_nodes = 0;
+  la::Offset total_nnz = 0;
+  Index total_edges = 0;
+  for (const auto& s : samples) {
+    total_nodes += s.topo->n;
+    total_nnz += s.topo->a_local.nnz();
+    total_edges += s.topo->num_edges();
+    out.offsets.push_back(total_nodes);
+  }
+
+  auto topo = std::make_shared<GraphTopology>();
+  topo->n = total_nodes;
+  topo->recv.reserve(total_edges);
+  topo->send.reserve(total_edges);
+  topo->attr.reserve(static_cast<std::size_t>(total_edges) * 3);
+  topo->dirichlet.reserve(total_nodes);
+  out.merged.rhs.reserve(total_nodes);
+
+  std::vector<la::Offset> rp;
+  rp.reserve(static_cast<std::size_t>(total_nodes) + 1);
+  rp.push_back(0);
+  std::vector<Index> ci;
+  ci.reserve(total_nnz);
+  std::vector<double> va;
+  va.reserve(total_nnz);
+
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    const GraphTopology& t = *samples[b].topo;
+    const Index off = out.offsets[b];
+    for (Index e = 0; e < t.num_edges(); ++e) {
+      topo->recv.push_back(t.recv[e] + off);
+      topo->send.push_back(t.send[e] + off);
+    }
+    topo->attr.insert(topo->attr.end(), t.attr.begin(), t.attr.end());
+    topo->dirichlet.insert(topo->dirichlet.end(), t.dirichlet.begin(),
+                           t.dirichlet.end());
+    out.merged.rhs.insert(out.merged.rhs.end(), samples[b].rhs.begin(),
+                          samples[b].rhs.end());
+    const auto trp = t.a_local.row_ptr();
+    const auto tci = t.a_local.col_idx();
+    const auto tva = t.a_local.values();
+    for (Index i = 0; i < t.n; ++i) {
+      for (la::Offset k = trp[i]; k < trp[i + 1]; ++k) {
+        ci.push_back(tci[k] + off);
+        va.push_back(tva[k]);
+      }
+      rp.push_back(static_cast<la::Offset>(ci.size()));
+    }
+  }
+  topo->a_local = la::CsrMatrix(total_nodes, total_nodes, std::move(rp),
+                                std::move(ci), std::move(va));
+  out.merged.topo = std::move(topo);
+  return out;
+}
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,37 @@
+// Disjoint-union batching of graph samples — the paper's Eq. 14: all K local
+// problems [G_1, …, G_K] are solved in one (or Nb) DSS inference(s). The
+// batched graph is the block-diagonal union: node blocks are concatenated,
+// edge lists offset, and A_local assembled block-diagonally so the physics-
+// informed loss of the batch equals the size-weighted mean of the parts.
+// Message passing never crosses blocks, so a batched forward is exactly
+// equivalent to per-graph forwards (a property test asserts bit-level-close
+// equality).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gnn/graph.hpp"
+
+namespace ddmgnn::gnn {
+
+struct BatchedSample {
+  GraphSample merged;
+  /// Start offset of each part in the merged node numbering (size parts+1).
+  std::vector<Index> offsets;
+
+  Index num_parts() const { return static_cast<Index>(offsets.size()) - 1; }
+
+  /// Copy the slice of a merged per-node vector belonging to part `i`.
+  template <typename T>
+  std::vector<T> split(std::span<const T> merged_values, Index i) const {
+    return std::vector<T>(merged_values.begin() + offsets[i],
+                          merged_values.begin() + offsets[i + 1]);
+  }
+};
+
+/// Merge samples into one disjoint-union sample. Topologies are copied into
+/// a fresh merged topology (callers batch once at setup and reuse it).
+BatchedSample batch_samples(std::span<const GraphSample> samples);
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,50 @@
+#include "gnn/graph.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::gnn {
+
+std::shared_ptr<GraphTopology> build_topology(
+    CsrMatrix a_local, std::span<const mesh::Point2> coords,
+    std::span<const std::uint8_t> dirichlet, const CsrMatrix* edge_pattern) {
+  const Index n = a_local.rows();
+  DDMGNN_CHECK(coords.size() == static_cast<std::size_t>(n) &&
+                   dirichlet.size() == static_cast<std::size_t>(n),
+               "build_topology: size mismatch");
+  const CsrMatrix& pattern = edge_pattern ? *edge_pattern : a_local;
+  DDMGNN_CHECK(pattern.rows() == n, "build_topology: pattern size mismatch");
+  auto topo = std::make_shared<GraphTopology>();
+  topo->n = n;
+  topo->dirichlet.assign(dirichlet.begin(), dirichlet.end());
+  const auto rp = pattern.row_ptr();
+  const auto ci = pattern.col_idx();
+  for (Index j = 0; j < n; ++j) {
+    if (dirichlet[j]) continue;  // Dirichlet nodes receive no messages
+    for (la::Offset e = rp[j]; e < rp[j + 1]; ++e) {
+      const Index l = ci[e];
+      if (l == j) continue;
+      topo->recv.push_back(j);
+      topo->send.push_back(l);
+      const double dx = coords[l].x - coords[j].x;
+      const double dy = coords[l].y - coords[j].y;
+      topo->attr.push_back(static_cast<float>(dx));
+      topo->attr.push_back(static_cast<float>(dy));
+      topo->attr.push_back(static_cast<float>(std::hypot(dx, dy)));
+    }
+  }
+  topo->a_local = std::move(a_local);
+  return topo;
+}
+
+CsrMatrix adjacency_pattern(std::span<const la::Offset> adj_ptr,
+                            std::span<const Index> adj) {
+  const Index n = static_cast<Index>(adj_ptr.size()) - 1;
+  std::vector<la::Offset> rp(adj_ptr.begin(), adj_ptr.end());
+  std::vector<Index> ci(adj.begin(), adj.end());
+  std::vector<double> vals(adj.size(), 1.0);
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
+}
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,25 @@
+// Evaluation metrics matching the paper's Table II: per-sample residual norm
+// ‖A r̂ − c‖ (with ‖c‖ = 1 inputs this is the relative residual) and relative
+// error ‖r̂ − v*‖/‖v*‖ against the exact solution v* computed with the direct
+// sparse solver. Exact-solve factors are cached per topology.
+#pragma once
+
+#include <vector>
+
+#include "gnn/dss_model.hpp"
+#include "gnn/graph.hpp"
+
+namespace ddmgnn::gnn {
+
+struct DssMetrics {
+  double residual_mean = 0.0;
+  double residual_std = 0.0;
+  double rel_error_mean = 0.0;
+  double rel_error_std = 0.0;
+  std::size_t num_samples = 0;
+};
+
+DssMetrics evaluate_dss(const DssModel& model,
+                        const std::vector<GraphSample>& samples);
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,63 @@
+#include "gnn/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::gnn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44535331;  // "DSS1"
+constexpr std::uint32_t kVersion = 2;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::int32_t iterations;
+  std::int32_t latent;
+  std::int32_t hidden;
+  float alpha;
+  std::int32_t dirichlet_flag;
+  std::uint64_t num_params;
+};
+}  // namespace
+
+void save_model(const DssModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DDMGNN_CHECK(out.good(), "save_model: cannot open " + path);
+  const DssConfig& c = model.config();
+  Header h{kMagic, kVersion, c.iterations, c.latent, c.hidden, c.alpha,
+           c.dirichlet_flag ? 1 : 0, model.num_params()};
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  const auto params = model.params();
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  DDMGNN_CHECK(out.good(), "save_model: write failed for " + path);
+}
+
+std::optional<DssModel> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in.good() || h.magic != kMagic || h.version != kVersion) {
+    return std::nullopt;
+  }
+  DssConfig cfg;
+  cfg.iterations = h.iterations;
+  cfg.latent = h.latent;
+  cfg.hidden = h.hidden;
+  cfg.alpha = h.alpha;
+  cfg.dirichlet_flag = h.dirichlet_flag != 0;
+  DssModel model(cfg, /*seed=*/0);
+  if (model.num_params() != h.num_params) return std::nullopt;
+  auto params = model.params();
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!in.good()) return std::nullopt;
+  return model;
+}
+
+}  // namespace ddmgnn::gnn

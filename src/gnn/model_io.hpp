@@ -1,0 +1,18 @@
+// Binary (de)serialization of trained DSS models so benches can cache the
+// model zoo in the artifact directory instead of retraining.
+// Format: magic, version, config fields, parameter count, float32 blob.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gnn/dss_model.hpp"
+
+namespace ddmgnn::gnn {
+
+void save_model(const DssModel& model, const std::string& path);
+
+/// Returns nullopt if the file is missing or malformed.
+std::optional<DssModel> load_model(const std::string& path);
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,182 @@
+#include "la/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ddmgnn::la {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
+                     std::vector<Index> col_idx, std::vector<double> vals)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  DDMGNN_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+               "CsrMatrix: row_ptr size");
+  DDMGNN_CHECK(col_idx_.size() == vals_.size(), "CsrMatrix: nnz mismatch");
+  DDMGNN_CHECK(row_ptr_.front() == 0 &&
+                   row_ptr_.back() == static_cast<Offset>(col_idx_.size()),
+               "CsrMatrix: row_ptr bounds");
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  DDMGNN_CHECK(x.size() == static_cast<std::size_t>(cols_) &&
+                   y.size() == static_cast<std::size_t>(rows_),
+               "multiply: dimension mismatch");
+  const Offset* rp = row_ptr_.data();
+  const Index* ci = col_idx_.data();
+  const double* v = vals_.data();
+  parallel_for(
+      rows_,
+      [&](long i) {
+        double acc = 0.0;
+        for (Offset k = rp[i]; k < rp[i + 1]; ++k) acc += v[k] * x[ci[k]];
+        y[i] = acc;
+      },
+      2048);
+}
+
+std::vector<double> CsrMatrix::apply(std::span<const double> x) const {
+  std::vector<double> y(rows_);
+  multiply(x, y);
+  return y;
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  DDMGNN_CHECK(x.size() == static_cast<std::size_t>(rows_) &&
+                   y.size() == static_cast<std::size_t>(cols_),
+               "multiply_transpose: dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    for (Offset k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_idx_[k]] += vals_[k] * xi;
+    }
+  }
+}
+
+double CsrMatrix::at(Index i, Index j) const {
+  DDMGNN_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "at: out of range");
+  const auto begin = col_idx_.begin() + row_ptr_[i];
+  const auto end = col_idx_.begin() + row_ptr_[i + 1];
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return vals_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(rows_, 0.0);
+  for (Index i = 0; i < rows_ && i < cols_; ++i) d[i] = at(i, i);
+  return d;
+}
+
+CsrMatrix CsrMatrix::principal_submatrix(std::span<const Index> keep) const {
+  DDMGNN_CHECK(rows_ == cols_, "principal_submatrix: matrix must be square");
+  const Index n = static_cast<Index>(keep.size());
+  // global -> local map; -1 marks dropped ids.
+  std::vector<Index> local(rows_, -1);
+  for (Index l = 0; l < n; ++l) {
+    DDMGNN_CHECK(keep[l] >= 0 && keep[l] < rows_, "principal_submatrix: id");
+    DDMGNN_CHECK(local[keep[l]] == -1, "principal_submatrix: duplicate id");
+    local[keep[l]] = l;
+  }
+  std::vector<Offset> rp(n + 1, 0);
+  std::vector<Index> ci;
+  std::vector<double> v;
+  ci.reserve(static_cast<std::size_t>(nnz() / std::max<Index>(1, rows_ / n)));
+  v.reserve(ci.capacity());
+  struct Pair {
+    Index col;
+    double val;
+  };
+  std::vector<Pair> scratch;
+  for (Index l = 0; l < n; ++l) {
+    const Index g = keep[l];
+    scratch.clear();
+    for (Offset k = row_ptr_[g]; k < row_ptr_[g + 1]; ++k) {
+      const Index lc = local[col_idx_[k]];
+      if (lc >= 0) scratch.push_back({lc, vals_[k]});
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Pair& a, const Pair& b) { return a.col < b.col; });
+    for (const Pair& p : scratch) {
+      ci.push_back(p.col);
+      v.push_back(p.val);
+    }
+    rp[l + 1] = static_cast<Offset>(ci.size());
+  }
+  return CsrMatrix(n, n, std::move(rp), std::move(ci), std::move(v));
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Offset> rp(cols_ + 1, 0);
+  for (const Index c : col_idx_) ++rp[c + 1];
+  for (Index c = 0; c < cols_; ++c) rp[c + 1] += rp[c];
+  std::vector<Index> ci(col_idx_.size());
+  std::vector<double> v(vals_.size());
+  std::vector<Offset> cursor(rp.begin(), rp.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Offset k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const Offset dst = cursor[col_idx_[k]]++;
+      ci[dst] = i;
+      v[dst] = vals_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(rp), std::move(ci), std::move(v));
+}
+
+double CsrMatrix::symmetry_defect() const {
+  if (rows_ != cols_) return std::numeric_limits<double>::infinity();
+  double defect = 0.0;
+  for (Index i = 0; i < rows_; ++i) {
+    for (Offset k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      defect = std::max(defect, std::abs(vals_[k] - at(col_idx_[k], i)));
+    }
+  }
+  return defect;
+}
+
+double CsrMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const double v : vals_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+CsrMatrix CooBuilder::build() && {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Offset> rp(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<double> v;
+  ci.reserve(entries_.size());
+  v.reserve(entries_.size());
+  std::size_t i = 0;
+  while (i < entries_.size()) {
+    const Index r = entries_[i].row;
+    const Index c = entries_[i].col;
+    DDMGNN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "CooBuilder: entry out of range");
+    double acc = 0.0;
+    while (i < entries_.size() && entries_[i].row == r &&
+           entries_[i].col == c) {
+      acc += entries_[i].val;
+      ++i;
+    }
+    ci.push_back(c);
+    v.push_back(acc);
+    ++rp[r + 1];
+  }
+  for (Index r = 0; r < rows_; ++r) rp[r + 1] += rp[r];
+  return CsrMatrix(rows_, cols_, std::move(rp), std::move(ci), std::move(v));
+}
+
+}  // namespace ddmgnn::la

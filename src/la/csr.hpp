@@ -1,0 +1,91 @@
+// Compressed-sparse-row matrix: the storage format for the FEM operator A,
+// the subdomain blocks R_i A R_i^T, and every preconditioner pattern.
+// Column indices are sorted within each row; duplicate entries are merged at
+// build time (CooBuilder).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ddmgnn::la {
+
+using Index = std::int32_t;
+using Offset = std::int64_t;
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(Index rows, Index cols, std::vector<Offset> row_ptr,
+            std::vector<Index> col_idx, std::vector<double> vals);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return static_cast<Offset>(col_idx_.size()); }
+
+  std::span<const Offset> row_ptr() const { return row_ptr_; }
+  std::span<const Index> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return vals_; }
+  std::span<double> values_mutable() { return vals_; }
+
+  /// y = A x  (OpenMP-parallel over rows).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Convenience allocating overload.
+  std::vector<double> apply(std::span<const double> x) const;
+
+  /// y = A^T x  (serial scatter; used only in tests and loss gradients).
+  void multiply_transpose(std::span<const double> x, std::span<double> y) const;
+
+  /// Value at (i, j), 0 if outside the pattern (binary search in row i).
+  double at(Index i, Index j) const;
+
+  /// Main diagonal (0 where the pattern has no diagonal entry).
+  std::vector<double> diagonal() const;
+
+  /// Principal submatrix on `keep` (global row/col ids, strictly increasing
+  /// not required — order defines the local numbering). This is R_i A R_i^T.
+  CsrMatrix principal_submatrix(std::span<const Index> keep) const;
+
+  CsrMatrix transpose() const;
+
+  /// max_{ij} |A_ij - A_ji| — symmetry defect, used by property tests.
+  double symmetry_defect() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Offset> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<double> vals_;
+};
+
+/// Accumulates (i, j, v) triplets (duplicates are summed) and compresses to
+/// CSR with sorted columns. The FEM assembler and partition restriction both
+/// build through this.
+class CooBuilder {
+ public:
+  CooBuilder(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+  void add(Index i, Index j, double v) { entries_.push_back({i, j, v}); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sort + merge duplicates + compress. The builder is consumed.
+  CsrMatrix build() &&;
+
+ private:
+  struct Entry {
+    Index row;
+    Index col;
+    double val;
+  };
+  Index rows_;
+  Index cols_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ddmgnn::la

@@ -1,0 +1,113 @@
+#include "la/ic0.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::la {
+
+IncompleteCholesky0::IncompleteCholesky0(const CsrMatrix& a) {
+  DDMGNN_CHECK(a.rows() == a.cols(), "IC0: square required");
+  n_ = a.rows();
+  // Extract the lower-triangle pattern once; retries only redo values.
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (Index i = 0; i < n_; ++i) {
+    for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[k] <= i) ++row_ptr_[i + 1];
+    }
+  }
+  for (Index i = 0; i < n_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(row_ptr_[n_]);
+  vals_.resize(row_ptr_[n_]);
+
+  double shift = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (try_factor(a, shift)) {
+      shift_ = shift;
+      return;
+    }
+    shift = (shift == 0.0) ? 1e-3 : shift * 10.0;
+  }
+  DDMGNN_CHECK(false, "IC0: factorization failed even with diagonal shift");
+}
+
+bool IncompleteCholesky0::try_factor(const CsrMatrix& a, double shift) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.values();
+  // Copy the (shifted) lower triangle of A into the factor storage.
+  for (Index i = 0; i < n_; ++i) {
+    Offset dst = row_ptr_[i];
+    for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[k] > i) continue;
+      col_idx_[dst] = ci[k];
+      vals_[dst] = (ci[k] == i) ? va[k] * (1.0 + shift) : va[k];
+      ++dst;
+    }
+    DDMGNN_CHECK(dst == row_ptr_[i + 1] &&
+                     col_idx_[row_ptr_[i + 1] - 1] == i,
+                 "IC0: missing diagonal entry");
+  }
+  // Row-oriented "ikj" incomplete factorization restricted to the pattern.
+  for (Index i = 0; i < n_; ++i) {
+    const Offset ib = row_ptr_[i];
+    const Offset ie = row_ptr_[i + 1] - 1;  // diagonal position
+    for (Offset kk = ib; kk < ie; ++kk) {
+      const Index j = col_idx_[kk];
+      const Offset jb = row_ptr_[j];
+      const Offset je = row_ptr_[j + 1] - 1;
+      // dot of rows i and j over the shared pattern (columns < j).
+      double acc = vals_[kk];
+      Offset pi = ib;
+      Offset pj = jb;
+      while (pi < kk && pj < je) {
+        if (col_idx_[pi] == col_idx_[pj]) {
+          acc -= vals_[pi] * vals_[pj];
+          ++pi;
+          ++pj;
+        } else if (col_idx_[pi] < col_idx_[pj]) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      vals_[kk] = acc / vals_[je];
+    }
+    double d = vals_[ie];
+    for (Offset kk = ib; kk < ie; ++kk) d -= vals_[kk] * vals_[kk];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    vals_[ie] = std::sqrt(d);
+  }
+  return true;
+}
+
+void IncompleteCholesky0::apply(std::span<const double> r,
+                                std::span<double> z) const {
+  DDMGNN_CHECK(r.size() == static_cast<std::size_t>(n_) && z.size() == r.size(),
+               "IC0::apply dims");
+  // Forward: L y = r
+  for (Index i = 0; i < n_; ++i) {
+    const Offset ie = row_ptr_[i + 1] - 1;
+    double acc = r[i];
+    for (Offset k = row_ptr_[i]; k < ie; ++k) acc -= vals_[k] * z[col_idx_[k]];
+    z[i] = acc / vals_[ie];
+  }
+  // Backward: Lᵀ z = y  (column sweep).
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const Offset ie = row_ptr_[i + 1] - 1;
+    const double zi = z[i] / vals_[ie];
+    z[i] = zi;
+    for (Offset k = row_ptr_[i]; k < ie; ++k) z[col_idx_[k]] -= vals_[k] * zi;
+  }
+}
+
+std::vector<double> IncompleteCholesky0::apply(std::span<const double> r) const {
+  std::vector<double> z(r.size());
+  apply(r, z);
+  return z;
+}
+
+}  // namespace ddmgnn::la

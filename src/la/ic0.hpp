@@ -1,0 +1,37 @@
+// Zero-fill incomplete Cholesky IC(0): the "legacy optimized" baseline
+// preconditioner of the paper's Table III. The factor keeps exactly the lower
+// triangle pattern of A. A diagonal shift is retried on breakdown (standard
+// Manteuffel-style safeguard), which property tests exercise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace ddmgnn::la {
+
+class IncompleteCholesky0 {
+ public:
+  explicit IncompleteCholesky0(const CsrMatrix& a);
+
+  /// z = (L·Lᵀ)⁻¹ r
+  void apply(std::span<const double> r, std::span<double> z) const;
+  std::vector<double> apply(std::span<const double> r) const;
+
+  Index size() const { return n_; }
+  /// Diagonal shift that was needed to complete the factorization (0 if none).
+  double shift() const { return shift_; }
+
+ private:
+  bool try_factor(const CsrMatrix& a, double shift);
+
+  Index n_ = 0;
+  double shift_ = 0.0;
+  // Lower-triangular factor in CSR (columns sorted, diagonal last per row).
+  std::vector<Offset> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<double> vals_;
+};
+
+}  // namespace ddmgnn::la

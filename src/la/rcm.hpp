@@ -1,0 +1,21 @@
+// Reverse Cuthill–McKee bandwidth-reducing ordering. Skyline Cholesky uses it
+// to keep envelope fill small on FEM matrices (2D meshes reorder to bandwidth
+// O(sqrt(N))), which is what makes the "LU" subdomain/reference solves cheap.
+#pragma once
+
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace ddmgnn::la {
+
+/// Returns `perm` with perm[new_index] = old_index (a new->old map) for the
+/// symmetric pattern of `a`. Disconnected components are ordered one after
+/// another. The ordering touches only the pattern, never the values.
+std::vector<Index> reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// Bandwidth of `a` under ordering `perm` (new->old). perm may be empty for
+/// the identity ordering.
+Index bandwidth(const CsrMatrix& a, std::span<const Index> perm);
+
+}  // namespace ddmgnn::la

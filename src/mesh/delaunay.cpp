@@ -1,0 +1,220 @@
+#include "mesh/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::mesh {
+
+bool in_circumcircle(const Point2& a, const Point2& b, const Point2& c,
+                     const Point2& p) {
+  // Classic lifted-paraboloid determinant, evaluated in long double. For the
+  // jittered point sets this library produces, exact predicates are not
+  // required; the long-double head absorbs near-degeneracies.
+  const long double ax = a.x - p.x, ay = a.y - p.y;
+  const long double bx = b.x - p.x, by = b.y - p.y;
+  const long double cx = c.x - p.x, cy = c.y - p.y;
+  const long double a2 = ax * ax + ay * ay;
+  const long double b2 = bx * bx + by * by;
+  const long double c2 = cx * cx + cy * cy;
+  const long double det = ax * (by * c2 - b2 * cy) -
+                          ay * (bx * c2 - b2 * cx) + a2 * (bx * cy - by * cx);
+  return det > 0.0L;
+}
+
+namespace {
+
+struct Tri {
+  std::array<TriIndex, 3> v;   // CCW vertices
+  std::array<TriIndex, 3> nb;  // nb[i] = neighbor across edge opposite v[i]
+  bool alive = true;
+  std::uint32_t stamp = 0;  // cavity-search marker
+};
+
+class Triangulator {
+ public:
+  explicit Triangulator(std::span<const Point2> pts) : input_(pts) {
+    pts_.assign(pts.begin(), pts.end());
+    build_super_triangle();
+  }
+
+  std::vector<std::array<TriIndex, 3>> run() {
+    for (TriIndex p = 0; p < static_cast<TriIndex>(input_.size()); ++p) {
+      insert(p);
+    }
+    std::vector<std::array<TriIndex, 3>> out;
+    out.reserve(tris_.size());
+    const TriIndex n = static_cast<TriIndex>(input_.size());
+    for (const Tri& t : tris_) {
+      if (!t.alive) continue;
+      if (t.v[0] >= n || t.v[1] >= n || t.v[2] >= n) continue;  // super verts
+      out.push_back(t.v);
+    }
+    return out;
+  }
+
+ private:
+  void build_super_triangle() {
+    Point2 lo = pts_.empty() ? Point2{0, 0} : pts_[0];
+    Point2 hi = lo;
+    for (const Point2& p : pts_) {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    const Point2 c{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+    const double r = std::max({hi.x - lo.x, hi.y - lo.y, 1.0}) * 64.0;
+    const TriIndex base = static_cast<TriIndex>(pts_.size());
+    pts_.push_back({c.x - 2.0 * r, c.y - r});
+    pts_.push_back({c.x + 2.0 * r, c.y - r});
+    pts_.push_back({c.x, c.y + 2.0 * r});
+    tris_.push_back(Tri{{base, base + 1, base + 2}, {-1, -1, -1}, true, 0});
+    last_tri_ = 0;
+  }
+
+  /// Walk from `last_tri_` toward the triangle containing p.
+  TriIndex locate(const Point2& p) {
+    TriIndex t = last_tri_;
+    if (t < 0 || !tris_[t].alive) {
+      t = static_cast<TriIndex>(tris_.size()) - 1;
+      while (t >= 0 && !tris_[t].alive) --t;
+      DDMGNN_CHECK(t >= 0, "delaunay: no live triangle");
+    }
+    const std::size_t max_steps = tris_.size() * 2 + 64;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      const Tri& tri = tris_[t];
+      TriIndex next = -1;
+      for (int e = 0; e < 3; ++e) {
+        const Point2& a = pts_[tri.v[(e + 1) % 3]];
+        const Point2& b = pts_[tri.v[(e + 2) % 3]];
+        if (orient2d(a, b, p) < 0.0) {  // p on the outer side of edge e
+          next = tri.nb[e];
+          break;
+        }
+      }
+      if (next == -1) return t;
+      t = next;
+      DDMGNN_CHECK(t >= 0, "delaunay: walked off the super-triangle");
+    }
+    // Pathological walk loop: fall back to a linear scan.
+    for (TriIndex i = 0; i < static_cast<TriIndex>(tris_.size()); ++i) {
+      const Tri& tri = tris_[i];
+      if (!tri.alive) continue;
+      bool inside = true;
+      for (int e = 0; e < 3 && inside; ++e) {
+        inside = orient2d(pts_[tri.v[(e + 1) % 3]], pts_[tri.v[(e + 2) % 3]],
+                          p) >= 0.0;
+      }
+      if (inside) return i;
+    }
+    DDMGNN_CHECK(false, "delaunay: point location failed");
+    return -1;
+  }
+
+  void insert(TriIndex pid) {
+    const Point2& p = pts_[pid];
+    const TriIndex seed = locate(p);
+    // Grow the cavity: all connected triangles whose circumcircle contains p.
+    ++stamp_;
+    cavity_.clear();
+    stack_.clear();
+    stack_.push_back(seed);
+    tris_[seed].stamp = stamp_;
+    while (!stack_.empty()) {
+      const TriIndex t = stack_.back();
+      stack_.pop_back();
+      const Tri& tri = tris_[t];
+      if (!in_circumcircle(pts_[tri.v[0]], pts_[tri.v[1]], pts_[tri.v[2]], p)) {
+        // Seed must be in the cavity even if the in-circle test is marginal
+        // (point exactly on the circle): force it, otherwise skip.
+        if (t != seed) continue;
+      }
+      cavity_.push_back(t);
+      for (int e = 0; e < 3; ++e) {
+        const TriIndex n = tri.nb[e];
+        if (n >= 0 && tris_[n].stamp != stamp_) {
+          tris_[n].stamp = stamp_;
+          stack_.push_back(n);
+        }
+      }
+    }
+    // Cavity boundary: edges whose far side is not in the cavity.
+    in_cavity_stamp_ = ++stamp_;
+    for (const TriIndex t : cavity_) tris_[t].stamp = in_cavity_stamp_;
+    boundary_.clear();
+    for (const TriIndex t : cavity_) {
+      const Tri& tri = tris_[t];
+      for (int e = 0; e < 3; ++e) {
+        const TriIndex n = tri.nb[e];
+        if (n >= 0 && tris_[n].stamp == in_cavity_stamp_) continue;
+        boundary_.emplace_back(tri.v[(e + 1) % 3], tri.v[(e + 2) % 3],
+                               n);  // CCW edge (a, b)
+      }
+    }
+    for (const TriIndex t : cavity_) tris_[t].alive = false;
+    // Re-triangulate: fan of (p, a, b) over the boundary cycle.
+    first_new_ = static_cast<TriIndex>(tris_.size());
+    incoming_.clear();
+    for (const auto& [a, b, outer] : boundary_) {
+      const TriIndex nt = static_cast<TriIndex>(tris_.size());
+      tris_.push_back(Tri{{pid, a, b}, {outer, -1, -1}, true, 0});
+      if (outer >= 0) point_neighbor_at(outer, a, b, nt);
+      incoming_.emplace_back(a, nt);
+    }
+    // Stitch the fan: tri (p,a,b) meets the tri whose incoming vertex is b
+    // across edge (p,b), and vice versa.
+    for (TriIndex i = 0; i < static_cast<TriIndex>(boundary_.size()); ++i) {
+      const TriIndex nt = first_new_ + i;
+      const TriIndex b = std::get<1>(boundary_[i]);
+      for (const auto& [v, other] : incoming_) {
+        if (v == b) {
+          tris_[nt].nb[1] = other;  // edge opposite v[1]=a is (b, p)
+          tris_[other].nb[2] = nt;  // edge opposite v[2]=b is (p, a=b here)
+          break;
+        }
+      }
+    }
+    last_tri_ = first_new_;
+  }
+
+  /// Update `t`'s neighbor pointer across edge (a, b) to `newnb`.
+  void point_neighbor_at(TriIndex t, TriIndex a, TriIndex b, TriIndex newnb) {
+    Tri& tri = tris_[t];
+    for (int e = 0; e < 3; ++e) {
+      const TriIndex ea = tri.v[(e + 1) % 3];
+      const TriIndex eb = tri.v[(e + 2) % 3];
+      if ((ea == a && eb == b) || (ea == b && eb == a)) {
+        tri.nb[e] = newnb;
+        return;
+      }
+    }
+    DDMGNN_CHECK(false, "delaunay: neighbor edge not found");
+  }
+
+  std::span<const Point2> input_;
+  std::vector<Point2> pts_;
+  std::vector<Tri> tris_;
+  TriIndex last_tri_ = -1;
+  TriIndex first_new_ = -1;
+  std::uint32_t stamp_ = 0;
+  std::uint32_t in_cavity_stamp_ = 0;
+  std::vector<TriIndex> cavity_;
+  std::vector<TriIndex> stack_;
+  std::vector<std::tuple<TriIndex, TriIndex, TriIndex>> boundary_;
+  std::vector<std::pair<TriIndex, TriIndex>> incoming_;
+};
+
+}  // namespace
+
+std::vector<std::array<TriIndex, 3>> delaunay_triangulate(
+    std::span<const Point2> pts) {
+  DDMGNN_CHECK(pts.size() >= 3, "delaunay: need at least 3 points");
+  Triangulator tr(pts);
+  return tr.run();
+}
+
+}  // namespace ddmgnn::mesh

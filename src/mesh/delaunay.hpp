@@ -1,0 +1,29 @@
+// Incremental Bowyer–Watson Delaunay triangulation with walk-based point
+// location. Replaces GMSH's triangulator: interior points arrive jittered and
+// spatially sorted (row-serpentine), so the walk from the previously touched
+// triangle is O(1) amortized and 10⁵–10⁶ point clouds triangulate in seconds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace ddmgnn::mesh {
+
+using TriIndex = std::int32_t;
+
+/// Triangulate `pts`; returns CCW triangles of vertex indices. All input
+/// points appear in the result (they are inside the synthetic super-triangle,
+/// which is stripped afterwards).
+std::vector<std::array<TriIndex, 3>> delaunay_triangulate(
+    std::span<const Point2> pts);
+
+/// Empty-circumcircle check for tests: true if `p` lies strictly inside the
+/// circumcircle of CCW triangle (a, b, c).
+bool in_circumcircle(const Point2& a, const Point2& b, const Point2& c,
+                     const Point2& p);
+
+}  // namespace ddmgnn::mesh

@@ -1,0 +1,162 @@
+#include "mesh/geometry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::mesh {
+
+double orient2d(const Point2& a, const Point2& b, const Point2& c) {
+  const long double acx = static_cast<long double>(a.x) - c.x;
+  const long double bcx = static_cast<long double>(b.x) - c.x;
+  const long double acy = static_cast<long double>(a.y) - c.y;
+  const long double bcy = static_cast<long double>(b.y) - c.y;
+  return static_cast<double>(acx * bcy - acy * bcx);
+}
+
+double point_segment_distance(const Point2& p, const Point2& a,
+                              const Point2& b) {
+  const Point2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return (p - a).norm();
+  double t = (p - a).dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return (p - (a + ab * t)).norm();
+}
+
+ClosedSpline::ClosedSpline(std::vector<Point2> control)
+    : control_(std::move(control)) {
+  DDMGNN_CHECK(control_.size() >= 3, "ClosedSpline: need >= 3 control points");
+}
+
+Point2 ClosedSpline::evaluate(std::size_t segment, double t) const {
+  const std::size_t n = control_.size();
+  const Point2& p0 = control_[(segment + n - 1) % n];
+  const Point2& p1 = control_[segment % n];
+  const Point2& p2 = control_[(segment + 1) % n];
+  const Point2& p3 = control_[(segment + 2) % n];
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  // Uniform Catmull–Rom basis.
+  const double c0 = -0.5 * t3 + t2 - 0.5 * t;
+  const double c1 = 1.5 * t3 - 2.5 * t2 + 1.0;
+  const double c2 = -1.5 * t3 + 2.0 * t2 + 0.5 * t;
+  const double c3 = 0.5 * t3 - 0.5 * t2;
+  return p0 * c0 + p1 * c1 + p2 * c2 + p3 * c3;
+}
+
+std::vector<Point2> ClosedSpline::sample(double spacing) const {
+  DDMGNN_CHECK(spacing > 0.0, "ClosedSpline::sample: spacing must be > 0");
+  std::vector<Point2> out;
+  for (std::size_t s = 0; s < control_.size(); ++s) {
+    // Estimate segment length with a coarse subdivision, then sample evenly.
+    double len = 0.0;
+    Point2 prev = evaluate(s, 0.0);
+    constexpr int kProbe = 8;
+    for (int i = 1; i <= kProbe; ++i) {
+      const Point2 cur = evaluate(s, static_cast<double>(i) / kProbe);
+      len += (cur - prev).norm();
+      prev = cur;
+    }
+    const int steps = std::max(1, static_cast<int>(std::ceil(len / spacing)));
+    for (int i = 0; i < steps; ++i) {
+      out.push_back(evaluate(s, static_cast<double>(i) / steps));
+    }
+  }
+  return out;
+}
+
+PolygonLocator::PolygonLocator(std::vector<Point2> vertices)
+    : verts_(std::move(vertices)) {
+  DDMGNN_CHECK(verts_.size() >= 3, "PolygonLocator: need >= 3 vertices");
+  lo_ = hi_ = verts_[0];
+  for (const Point2& p : verts_) {
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi_.x = std::max(hi_.x, p.x);
+    hi_.y = std::max(hi_.y, p.y);
+  }
+  const int n = static_cast<int>(verts_.size());
+  num_strips_ = std::max(1, n);
+  strip_h_ = std::max(1e-12, (hi_.y - lo_.y) / num_strips_);
+  // Count-then-fill CSR of segment ids per strip.
+  std::vector<int> count(num_strips_ + 1, 0);
+  auto strip_range = [&](int seg, int& s0, int& s1) {
+    const Point2& a = verts_[seg];
+    const Point2& b = verts_[(seg + 1) % n];
+    const double ylo = std::min(a.y, b.y);
+    const double yhi = std::max(a.y, b.y);
+    s0 = std::clamp(static_cast<int>((ylo - lo_.y) / strip_h_), 0,
+                    num_strips_ - 1);
+    s1 = std::clamp(static_cast<int>((yhi - lo_.y) / strip_h_), 0,
+                    num_strips_ - 1);
+  };
+  for (int seg = 0; seg < n; ++seg) {
+    int s0, s1;
+    strip_range(seg, s0, s1);
+    for (int s = s0; s <= s1; ++s) ++count[s + 1];
+  }
+  for (int s = 0; s < num_strips_; ++s) count[s + 1] += count[s];
+  strip_ptr_ = count;
+  strip_segs_.resize(strip_ptr_.back());
+  std::vector<int> cursor(strip_ptr_.begin(), strip_ptr_.end() - 1);
+  for (int seg = 0; seg < n; ++seg) {
+    int s0, s1;
+    strip_range(seg, s0, s1);
+    for (int s = s0; s <= s1; ++s) strip_segs_[cursor[s]++] = seg;
+  }
+}
+
+bool PolygonLocator::contains(const Point2& p) const {
+  if (p.x < lo_.x || p.x > hi_.x || p.y < lo_.y || p.y > hi_.y) return false;
+  const int s =
+      std::clamp(static_cast<int>((p.y - lo_.y) / strip_h_), 0, num_strips_ - 1);
+  const int n = static_cast<int>(verts_.size());
+  bool inside = false;
+  for (int k = strip_ptr_[s]; k < strip_ptr_[s + 1]; ++k) {
+    const int seg = strip_segs_[k];
+    const Point2& a = verts_[seg];
+    const Point2& b = verts_[(seg + 1) % n];
+    // Even-odd ray cast toward +x; half-open rule avoids double-counting
+    // vertices shared by two segments.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_int > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PolygonLocator::within_clearance(const Point2& p, double clearance) const {
+  if (p.x < lo_.x - clearance || p.x > hi_.x + clearance ||
+      p.y < lo_.y - clearance || p.y > hi_.y + clearance) {
+    return false;
+  }
+  const int s0 = std::clamp(
+      static_cast<int>((p.y - clearance - lo_.y) / strip_h_), 0,
+      num_strips_ - 1);
+  const int s1 = std::clamp(
+      static_cast<int>((p.y + clearance - lo_.y) / strip_h_), 0,
+      num_strips_ - 1);
+  const int n = static_cast<int>(verts_.size());
+  for (int s = s0; s <= s1; ++s) {
+    for (int k = strip_ptr_[s]; k < strip_ptr_[s + 1]; ++k) {
+      const int seg = strip_segs_[k];
+      const Point2& a = verts_[seg];
+      const Point2& b = verts_[(seg + 1) % n];
+      if (point_segment_distance(p, a, b) < clearance) return true;
+    }
+  }
+  return false;
+}
+
+double PolygonLocator::signed_area() const {
+  double acc = 0.0;
+  const int n = static_cast<int>(verts_.size());
+  for (int i = 0; i < n; ++i) {
+    acc += verts_[i].cross(verts_[(i + 1) % n]);
+  }
+  return 0.5 * acc;
+}
+
+}  // namespace ddmgnn::mesh

@@ -1,0 +1,130 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::mesh {
+
+Mesh::Mesh(std::vector<Point2> points,
+           std::vector<std::array<Index, 3>> triangles)
+    : points_(std::move(points)), triangles_(std::move(triangles)) {
+  // Normalize winding to CCW so areas and FEM gradients are sign-stable.
+  for (auto& t : triangles_) {
+    if (orient2d(points_[t[0]], points_[t[1]], points_[t[2]]) < 0.0) {
+      std::swap(t[1], t[2]);
+    }
+  }
+  detect_boundary();
+  build_adjacency();
+}
+
+void Mesh::detect_boundary() {
+  // An edge used by exactly one triangle is a boundary edge.
+  std::unordered_map<std::uint64_t, int> edge_use;
+  edge_use.reserve(triangles_.size() * 3);
+  auto key = [](Index a, Index b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+  };
+  for (const auto& t : triangles_) {
+    for (int e = 0; e < 3; ++e) {
+      ++edge_use[key(t[e], t[(e + 1) % 3])];
+    }
+  }
+  on_boundary_.assign(points_.size(), 0);
+  for (const auto& t : triangles_) {
+    for (int e = 0; e < 3; ++e) {
+      const Index a = t[e];
+      const Index b = t[(e + 1) % 3];
+      if (edge_use[key(a, b)] == 1) {
+        on_boundary_[a] = 1;
+        on_boundary_[b] = 1;
+      }
+    }
+  }
+  num_boundary_ = 0;
+  for (const auto f : on_boundary_) num_boundary_ += f;
+}
+
+void Mesh::build_adjacency() {
+  const Index n = num_nodes();
+  std::vector<std::vector<Index>> nb(n);
+  for (const auto& t : triangles_) {
+    for (int e = 0; e < 3; ++e) {
+      const Index a = t[e];
+      const Index b = t[(e + 1) % 3];
+      nb[a].push_back(b);
+      nb[b].push_back(a);
+    }
+  }
+  adj_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t total = 0;
+  for (Index i = 0; i < n; ++i) {
+    auto& v = nb[i];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    total += v.size();
+    adj_ptr_[i + 1] = static_cast<Offset>(total);
+  }
+  adj_.resize(total);
+  for (Index i = 0; i < n; ++i) {
+    std::copy(nb[i].begin(), nb[i].end(), adj_.begin() + adj_ptr_[i]);
+  }
+}
+
+double Mesh::triangle_area(Index t) const {
+  const auto& tr = triangles_[t];
+  return 0.5 * orient2d(points_[tr[0]], points_[tr[1]], points_[tr[2]]);
+}
+
+double Mesh::total_area() const {
+  double a = 0.0;
+  for (Index t = 0; t < num_triangles(); ++t) a += triangle_area(t);
+  return a;
+}
+
+Index Mesh::diameter_estimate() const {
+  if (num_nodes() == 0) return 0;
+  auto bfs_far = [&](Index start, Index& depth) {
+    std::vector<Index> dist(num_nodes(), -1);
+    std::vector<Index> frontier{start};
+    dist[start] = 0;
+    Index last = start;
+    depth = 0;
+    while (!frontier.empty()) {
+      std::vector<Index> next;
+      for (const Index u : frontier) {
+        for (Offset k = adj_ptr_[u]; k < adj_ptr_[u + 1]; ++k) {
+          const Index v = adj_[k];
+          if (dist[v] < 0) {
+            dist[v] = dist[u] + 1;
+            depth = std::max(depth, dist[v]);
+            next.push_back(v);
+            last = v;
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    return last;
+  };
+  Index d1 = 0, d2 = 0;
+  const Index far1 = bfs_far(0, d1);
+  bfs_far(far1, d2);
+  return std::max(d1, d2);
+}
+
+void Mesh::dump(const std::string& path) const {
+  std::ofstream out(path);
+  DDMGNN_CHECK(out.good(), "Mesh::dump: cannot open " + path);
+  out << num_nodes() << " " << num_triangles() << "\n";
+  for (const Point2& p : points_) out << p.x << " " << p.y << "\n";
+  for (const auto& t : triangles_) {
+    out << t[0] << " " << t[1] << " " << t[2] << "\n";
+  }
+}
+
+}  // namespace ddmgnn::mesh

@@ -1,0 +1,69 @@
+// Unstructured triangular mesh container. Produced by the generator, consumed
+// by the FEM assembler (element loops), the partitioner (node adjacency), and
+// the GNN graph builder (node coordinates -> edge geometry features).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "mesh/geometry.hpp"
+
+namespace ddmgnn::mesh {
+
+using la::Index;
+using la::Offset;
+
+class Mesh {
+ public:
+  Mesh() = default;
+  /// Takes ownership of geometry; derives boundary flags and node adjacency.
+  Mesh(std::vector<Point2> points,
+       std::vector<std::array<Index, 3>> triangles);
+
+  Index num_nodes() const { return static_cast<Index>(points_.size()); }
+  Index num_triangles() const { return static_cast<Index>(triangles_.size()); }
+
+  std::span<const Point2> points() const { return points_; }
+  std::span<const std::array<Index, 3>> triangles() const {
+    return triangles_;
+  }
+
+  /// True for nodes on the domain boundary (incident to a once-used edge).
+  bool is_boundary(Index node) const { return on_boundary_[node] != 0; }
+  std::span<const std::uint8_t> boundary_flags() const { return on_boundary_; }
+  Index num_boundary_nodes() const { return num_boundary_; }
+
+  /// Node-to-node adjacency (undirected, via triangle edges, no self loops),
+  /// CSR layout with sorted neighbor lists.
+  std::span<const Offset> adj_ptr() const { return adj_ptr_; }
+  std::span<const Index> adj() const { return adj_; }
+
+  /// Area of triangle t (positive; triangles are stored CCW).
+  double triangle_area(Index t) const;
+  double total_area() const;
+
+  /// Graph diameter estimate (two BFS sweeps) — the paper ties the required
+  /// number of MPNN layers to mesh diameter, benches report it.
+  Index diameter_estimate() const;
+
+  /// Writes "x y\n" per node then "a b c\n" per triangle — simple CSV-ish dump
+  /// used by the Fig. 4 bench so partitions can be plotted externally.
+  void dump(const std::string& path) const;
+
+ private:
+  void detect_boundary();
+  void build_adjacency();
+
+  std::vector<Point2> points_;
+  std::vector<std::array<Index, 3>> triangles_;
+  std::vector<std::uint8_t> on_boundary_;
+  Index num_boundary_ = 0;
+  std::vector<Offset> adj_ptr_;
+  std::vector<Index> adj_;
+};
+
+}  // namespace ddmgnn::mesh

@@ -1,0 +1,96 @@
+// Adam optimizer + global-norm gradient clipping + ReduceLROnPlateau — the
+// exact training toolkit of §IV-B (Adam lr=1e-2, clipping 1e-2, plateau
+// scheduler with factor 0.1).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::nn {
+
+class Adam {
+ public:
+  explicit Adam(std::size_t num_params, double lr = 1e-2, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+  void step(std::span<float> params, std::span<const float> grads) {
+    DDMGNN_CHECK(params.size() == m_.size() && grads.size() == m_.size(),
+                 "Adam::step: size mismatch");
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, t_);
+    const double bc2 = 1.0 - std::pow(beta2_, t_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const double g = grads[i];
+      m_[i] = static_cast<float>(beta1_ * m_[i] + (1.0 - beta1_) * g);
+      v_[i] = static_cast<float>(beta2_ * v_[i] + (1.0 - beta2_) * g * g);
+      const double mhat = m_[i] / bc1;
+      const double vhat = v_[i] / bc2;
+      params[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+/// Scale `grads` so its l2 norm is at most `max_norm`; returns the pre-clip
+/// norm (PyTorch's clip_grad_norm_ semantics).
+inline double clip_global_norm(std::span<float> grads, double max_norm) {
+  double acc = 0.0;
+  for (const float g : grads) acc += static_cast<double>(g) * g;
+  const double norm = std::sqrt(acc);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (float& g : grads) g *= scale;
+  }
+  return norm;
+}
+
+/// ReduceLROnPlateau: multiply lr by `factor` after `patience` epochs without
+/// `threshold`-relative improvement.
+class ReduceLrOnPlateau {
+ public:
+  ReduceLrOnPlateau(double factor = 0.1, int patience = 10,
+                    double threshold = 1e-4, double min_lr = 1e-6)
+      : factor_(factor), patience_(patience), threshold_(threshold),
+        min_lr_(min_lr) {}
+
+  /// Returns true if the learning rate was reduced this step.
+  bool observe(double loss, Adam& opt) {
+    if (loss < best_ * (1.0 - threshold_)) {
+      best_ = loss;
+      bad_epochs_ = 0;
+      return false;
+    }
+    if (++bad_epochs_ <= patience_) return false;
+    bad_epochs_ = 0;
+    const double lr = std::max(min_lr_, opt.learning_rate() * factor_);
+    const bool changed = lr < opt.learning_rate();
+    opt.set_learning_rate(lr);
+    return changed;
+  }
+
+ private:
+  double factor_;
+  int patience_;
+  double threshold_;
+  double min_lr_;
+  double best_ = 1e300;
+  int bad_epochs_ = 0;
+};
+
+}  // namespace ddmgnn::nn

@@ -1,0 +1,90 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+namespace ddmgnn::nn {
+
+void Linear::init_xavier(std::span<float> values, Rng& rng) const {
+  const double bound = std::sqrt(6.0 / (in_ + out_));
+  float* w = values.data() + w_.offset;
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  float* b = values.data() + b_.offset;
+  for (std::size_t i = 0; i < b_.size(); ++i) b[i] = 0.0f;
+}
+
+void Linear::forward(const float* params, const Tensor& x, Tensor& y) const {
+  DDMGNN_ASSERT(x.cols == in_);
+  y.resize(x.rows, out_);
+  const float* w = params + w_.offset;
+  const float* b = params + b_.offset;
+  // Serial on purpose: parallelism lives at the per-sample / per-graph level.
+  for (int i = 0; i < x.rows; ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    for (int o = 0; o < out_; ++o) {
+      const float* wo = w + static_cast<std::size_t>(o) * in_;
+      float acc = b[o];
+      for (int k = 0; k < in_; ++k) acc += xi[k] * wo[k];
+      yi[o] = acc;
+    }
+  }
+}
+
+void Linear::backward(const float* params, const Tensor& x, const Tensor& dy,
+                      Tensor* dx, float* grads) const {
+  DDMGNN_ASSERT(x.cols == in_ && dy.cols == out_ && dy.rows == x.rows);
+  const float* w = params + w_.offset;
+  float* gw = grads + w_.offset;
+  float* gb = grads + b_.offset;
+  for (int i = 0; i < x.rows; ++i) {
+    const float* xi = x.row(i);
+    const float* dyi = dy.row(i);
+    for (int o = 0; o < out_; ++o) {
+      const float g = dyi[o];
+      if (g == 0.0f) continue;
+      gb[o] += g;
+      float* gwo = gw + static_cast<std::size_t>(o) * in_;
+      for (int k = 0; k < in_; ++k) gwo[k] += g * xi[k];
+    }
+  }
+  if (dx != nullptr) {
+    dx->resize(x.rows, in_);
+    for (int i = 0; i < x.rows; ++i) {
+      const float* dyi = dy.row(i);
+      float* dxi = dx->row(i);
+      for (int k = 0; k < in_; ++k) dxi[k] = 0.0f;
+      for (int o = 0; o < out_; ++o) {
+        const float g = dyi[o];
+        if (g == 0.0f) continue;
+        const float* wo = w + static_cast<std::size_t>(o) * in_;
+        for (int k = 0; k < in_; ++k) dxi[k] += g * wo[k];
+      }
+    }
+  }
+}
+
+void Mlp::forward(const float* params, const Tensor& x, Tensor& y,
+                  Cache& cache) const {
+  l1_.forward(params, x, cache.h_pre);
+  cache.h_act.resize(cache.h_pre.rows, cache.h_pre.cols);
+  for (std::size_t i = 0; i < cache.h_pre.size(); ++i) {
+    const float v = cache.h_pre.d[i];
+    cache.h_act.d[i] = v > 0.0f ? v : 0.0f;
+  }
+  l2_.forward(params, cache.h_act, y);
+}
+
+void Mlp::backward(const float* params, const Tensor& x, const Cache& cache,
+                   const Tensor& dy, Tensor* dx, float* grads) const {
+  thread_local Tensor dh;  // scratch reused across calls on this thread
+  l2_.backward(params, cache.h_act, dy, &dh, grads);
+  // ReLU mask.
+  for (std::size_t i = 0; i < dh.size(); ++i) {
+    if (cache.h_pre.d[i] <= 0.0f) dh.d[i] = 0.0f;
+  }
+  l1_.backward(params, x, dh, dx, grads);
+}
+
+}  // namespace ddmgnn::nn

@@ -1,0 +1,76 @@
+// Linear layers and the paper's MLP shape (one hidden layer, ReLU — §IV-B)
+// with hand-derived backpropagation. Forward caches live in caller-provided
+// Cache objects so the same model can run on many threads concurrently.
+//
+// Conventions: X is [n × in], W is [out × in] row-major, Y = X·Wᵀ + b.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "nn/param_store.hpp"
+#include "nn/tensor.hpp"
+
+namespace ddmgnn::nn {
+
+/// Fully-connected layer over a flat parameter store.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParameterStore& store, int in, int out)
+      : in_(in), out_(out), w_(store.allocate(out, in)),
+        b_(store.allocate(1, out)) {}
+
+  int in_dim() const { return in_; }
+  int out_dim() const { return out_; }
+
+  /// Xavier-uniform initialization (paper §IV-B).
+  void init_xavier(std::span<float> values, Rng& rng) const;
+
+  /// Y = X Wᵀ + b.
+  void forward(const float* params, const Tensor& x, Tensor& y) const;
+
+  /// Given dY: dX = dY·W (if dx != nullptr), dW += dYᵀ·X, db += colsum(dY).
+  void backward(const float* params, const Tensor& x, const Tensor& dy,
+                Tensor* dx, float* grads) const;
+
+ private:
+  int in_ = 0;
+  int out_ = 0;
+  ParameterStore::Slot w_;
+  ParameterStore::Slot b_;
+};
+
+/// in -> hidden -> ReLU -> out.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(ParameterStore& store, int in, int hidden, int out)
+      : l1_(store, in, hidden), l2_(store, hidden, out) {}
+
+  struct Cache {
+    Tensor h_pre;  // pre-activation of the hidden layer
+    Tensor h_act;  // ReLU output (the input of l2)
+  };
+
+  int in_dim() const { return l1_.in_dim(); }
+  int out_dim() const { return l2_.out_dim(); }
+
+  void init(std::span<float> values, Rng& rng) const {
+    l1_.init_xavier(values, rng);
+    l2_.init_xavier(values, rng);
+  }
+
+  void forward(const float* params, const Tensor& x, Tensor& y,
+               Cache& cache) const;
+
+  /// dx may be nullptr when input gradients are not needed.
+  void backward(const float* params, const Tensor& x, const Cache& cache,
+                const Tensor& dy, Tensor* dx, float* grads) const;
+
+ private:
+  Linear l1_;
+  Linear l2_;
+};
+
+}  // namespace ddmgnn::nn

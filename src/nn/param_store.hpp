@@ -1,0 +1,58 @@
+// Flat parameter storage: every layer allocates a slot (offset + shape) and
+// all weights live in one contiguous float array. This gives the optimizer,
+// the gradient clipping, the per-thread gradient buffers of data-parallel
+// training, and the serializer a single uniform view — the same layout trick
+// PyTorch's `parameters()` flattening would give.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::nn {
+
+class ParameterStore {
+ public:
+  struct Slot {
+    std::size_t offset = 0;
+    int rows = 0;
+    int cols = 0;
+    std::size_t size() const {
+      return static_cast<std::size_t>(rows) * cols;
+    }
+  };
+
+  /// Reserve space for a rows×cols parameter tensor. Call before finalize().
+  Slot allocate(int rows, int cols) {
+    DDMGNN_CHECK(!finalized_, "ParameterStore: allocate after finalize");
+    Slot s{cursor_, rows, cols};
+    cursor_ += s.size();
+    return s;
+  }
+
+  /// Materialize the value buffer (zero-initialized).
+  void finalize() {
+    DDMGNN_CHECK(!finalized_, "ParameterStore: double finalize");
+    values_.assign(cursor_, 0.0f);
+    finalized_ = true;
+  }
+
+  std::size_t size() const { return cursor_; }
+  std::span<float> values() { return values_; }
+  std::span<const float> values() const { return values_; }
+  float* data() { return values_.data(); }
+  const float* data() const { return values_.data(); }
+
+  std::span<float> view(const Slot& s) {
+    return std::span<float>(values_.data() + s.offset, s.size());
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+  bool finalized_ = false;
+  std::vector<float> values_;
+};
+
+}  // namespace ddmgnn::nn

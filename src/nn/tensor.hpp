@@ -1,0 +1,42 @@
+// Minimal float32 row-major matrix used by the neural-network stack (the
+// numerics stack stays double; float mirrors the PyTorch training of the
+// paper). No ownership tricks: a Tensor is a resizable buffer with a shape.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::nn {
+
+struct Tensor {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> d;
+
+  Tensor() = default;
+  Tensor(int r, int c) { resize(r, c); }
+
+  void resize(int r, int c) {
+    DDMGNN_CHECK(r >= 0 && c >= 0, "Tensor::resize: negative shape");
+    rows = r;
+    cols = c;
+    d.resize(static_cast<std::size_t>(r) * c);
+  }
+
+  void zero() { std::memset(d.data(), 0, d.size() * sizeof(float)); }
+
+  float* row(int i) { return d.data() + static_cast<std::size_t>(i) * cols; }
+  const float* row(int i) const {
+    return d.data() + static_cast<std::size_t>(i) * cols;
+  }
+  float& at(int i, int j) { return d[static_cast<std::size_t>(i) * cols + j]; }
+  float at(int i, int j) const {
+    return d[static_cast<std::size_t>(i) * cols + j];
+  }
+  std::size_t size() const { return d.size(); }
+};
+
+}  // namespace ddmgnn::nn

@@ -1,0 +1,263 @@
+#include "partition/decomposition.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ddmgnn::partition {
+
+void Decomposition::restrict_to(Index i, std::span<const double> x,
+                                std::span<double> out) const {
+  const auto& nodes = subdomains[i];
+  DDMGNN_CHECK(out.size() == nodes.size(), "restrict_to: size mismatch");
+  for (std::size_t l = 0; l < nodes.size(); ++l) out[l] = x[nodes[l]];
+}
+
+void Decomposition::prolong_add(Index i, std::span<const double> x,
+                                std::span<double> y) const {
+  const auto& nodes = subdomains[i];
+  DDMGNN_CHECK(x.size() == nodes.size(), "prolong_add: size mismatch");
+  for (std::size_t l = 0; l < nodes.size(); ++l) y[nodes[l]] += x[l];
+}
+
+namespace {
+
+/// Farthest-point seeds: repeated multi-source BFS, next seed = farthest node.
+std::vector<Index> pick_seeds(std::span<const Offset> adj_ptr,
+                              std::span<const Index> adj, Index n, Index k,
+                              Rng& rng) {
+  std::vector<Index> seeds;
+  seeds.reserve(k);
+  seeds.push_back(static_cast<Index>(rng.uniform_index(n)));
+  std::vector<Index> dist(n, -1);
+  std::vector<Index> frontier;
+  auto bfs_from = [&](Index s) {
+    frontier.assign(1, s);
+    dist[s] = 0;
+    while (!frontier.empty()) {
+      std::vector<Index> next;
+      for (const Index u : frontier) {
+        for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e) {
+          const Index v = adj[e];
+          if (dist[v] < 0 || dist[v] > dist[u] + 1) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  };
+  std::fill(dist.begin(), dist.end(), -1);
+  bfs_from(seeds[0]);
+  while (static_cast<Index>(seeds.size()) < k) {
+    Index far = seeds[0];
+    Index best = -1;
+    for (Index v = 0; v < n; ++v) {
+      if (dist[v] > best) {
+        best = dist[v];
+        far = v;
+      }
+    }
+    seeds.push_back(far);
+    // Relax distances with the new seed (multi-source min-distance).
+    frontier.assign(1, far);
+    dist[far] = 0;
+    while (!frontier.empty()) {
+      std::vector<Index> next;
+      for (const Index u : frontier) {
+        for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e) {
+          const Index v = adj[e];
+          if (dist[v] < 0 || dist[v] > dist[u] + 1) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Decomposition decompose(std::span<const Offset> adj_ptr,
+                        std::span<const Index> adj, Index num_parts,
+                        int overlap, std::uint64_t seed) {
+  const Index n = static_cast<Index>(adj_ptr.size()) - 1;
+  DDMGNN_CHECK(num_parts >= 1 && num_parts <= n, "decompose: bad num_parts");
+  DDMGNN_CHECK(overlap >= 0, "decompose: negative overlap");
+  Rng rng(seed ^ 0x2545F4914F6CDD1Dull);
+
+  Decomposition dec;
+  dec.num_parts = num_parts;
+  dec.owner.assign(n, -1);
+
+  // --- 1. Balanced growth: always extend the currently smallest part. ---
+  const std::vector<Index> seeds = pick_seeds(adj_ptr, adj, n, num_parts, rng);
+  std::vector<std::queue<Index>> frontier(num_parts);
+  std::vector<Index> size(num_parts, 0);
+  using HeapItem = std::pair<Index, Index>;  // (part size, part id)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (Index p = 0; p < num_parts; ++p) {
+    Index s = seeds[p];
+    if (dec.owner[s] != -1) {
+      // Seed collision (tiny graphs): fall back to any unassigned node.
+      s = -1;
+      for (Index v = 0; v < n; ++v) {
+        if (dec.owner[v] == -1) {
+          s = v;
+          break;
+        }
+      }
+      DDMGNN_CHECK(s >= 0, "decompose: more parts than nodes");
+    }
+    dec.owner[s] = p;
+    size[p] = 1;
+    frontier[p].push(s);
+    heap.push({1, p});
+  }
+  Index assigned = num_parts;
+  while (assigned < n) {
+    if (heap.empty()) {
+      // Disconnected leftover: give it to the smallest part and restart a
+      // frontier from there.
+      Index p_min = 0;
+      for (Index p = 1; p < num_parts; ++p)
+        if (size[p] < size[p_min]) p_min = p;
+      for (Index v = 0; v < n; ++v) {
+        if (dec.owner[v] == -1) {
+          dec.owner[v] = p_min;
+          ++size[p_min];
+          ++assigned;
+          frontier[p_min].push(v);
+          heap.push({size[p_min], p_min});
+          break;
+        }
+      }
+      continue;
+    }
+    const auto [sz, p] = heap.top();
+    heap.pop();
+    if (sz != size[p]) continue;  // stale heap entry
+    bool grew = false;
+    while (!frontier[p].empty() && !grew) {
+      const Index u = frontier[p].front();
+      for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e) {
+        const Index v = adj[e];
+        if (dec.owner[v] == -1) {
+          dec.owner[v] = p;
+          ++size[p];
+          ++assigned;
+          frontier[p].push(v);
+          grew = true;
+          break;
+        }
+      }
+      if (!grew) frontier[p].pop();  // u exhausted
+    }
+    if (grew || !frontier[p].empty()) heap.push({size[p], p});
+  }
+
+  // --- 2. Boundary smoothing: move nodes to the majority part of their
+  //        neighborhood when balance permits (reduces jagged interfaces). ---
+  const Index max_size =
+      static_cast<Index>(1.1 * static_cast<double>(n) / num_parts) + 2;
+  std::vector<Index> count(num_parts, 0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Index u = 0; u < n; ++u) {
+      const Index cur = dec.owner[u];
+      Index best = cur;
+      Index best_count = 0;
+      Index cur_count = 0;
+      for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e) {
+        const Index p = dec.owner[adj[e]];
+        const Index c = ++count[p];
+        if (p == cur) cur_count = c;
+        if (c > best_count) {
+          best_count = c;
+          best = p;
+        }
+      }
+      for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e)
+        count[dec.owner[adj[e]]] = 0;  // reset scratch
+      if (best != cur && best_count > cur_count + 1 && size[cur] > 1 &&
+          size[best] < max_size) {
+        dec.owner[u] = best;
+        --size[cur];
+        ++size[best];
+      }
+    }
+  }
+
+  // --- 3. Overlap expansion: `overlap` BFS layers around each core. ---
+  dec.subdomains.assign(num_parts, {});
+  {
+    std::vector<Index> mark(n, -1);
+    std::vector<Index> layer, next;
+    for (Index p = 0; p < num_parts; ++p) {
+      auto& nodes = dec.subdomains[p];
+      layer.clear();
+      for (Index v = 0; v < n; ++v) {
+        if (dec.owner[v] == p) {
+          nodes.push_back(v);
+          mark[v] = p;
+          layer.push_back(v);
+        }
+      }
+      for (int l = 0; l < overlap; ++l) {
+        next.clear();
+        for (const Index u : layer) {
+          for (Offset e = adj_ptr[u]; e < adj_ptr[u + 1]; ++e) {
+            const Index v = adj[e];
+            if (mark[v] != p) {
+              mark[v] = p;
+              nodes.push_back(v);
+              next.push_back(v);
+            }
+          }
+        }
+        layer.swap(next);
+      }
+      std::sort(nodes.begin(), nodes.end());
+    }
+  }
+
+  // --- 4. Partition-of-unity weights. ---
+  dec.inv_multiplicity.assign(n, 0.0);
+  for (const auto& nodes : dec.subdomains) {
+    for (const Index v : nodes) dec.inv_multiplicity[v] += 1.0;
+  }
+  for (Index v = 0; v < n; ++v) {
+    DDMGNN_CHECK(dec.inv_multiplicity[v] > 0.0, "decompose: uncovered node");
+    dec.inv_multiplicity[v] = 1.0 / dec.inv_multiplicity[v];
+  }
+  return dec;
+}
+
+Decomposition decompose_target_size(std::span<const Offset> adj_ptr,
+                                    std::span<const Index> adj,
+                                    Index target_size, int overlap,
+                                    std::uint64_t seed) {
+  const Index n = static_cast<Index>(adj_ptr.size()) - 1;
+  DDMGNN_CHECK(target_size > 0, "decompose_target_size: bad target");
+  const Index k = std::max<Index>(
+      1, static_cast<Index>(std::lround(static_cast<double>(n) / target_size)));
+  return decompose(adj_ptr, adj, k, overlap, seed);
+}
+
+double balance_ratio(const Decomposition& d) {
+  if (d.num_parts == 0) return 1.0;
+  std::vector<Index> size(d.num_parts, 0);
+  for (const Index p : d.owner) ++size[p];
+  const double mean =
+      static_cast<double>(d.owner.size()) / static_cast<double>(d.num_parts);
+  Index mx = 0;
+  for (const Index s : size) mx = std::max(mx, s);
+  return static_cast<double>(mx) / mean;
+}
+
+}  // namespace ddmgnn::partition

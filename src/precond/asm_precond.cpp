@@ -1,0 +1,77 @@
+#include "precond/asm_precond.hpp"
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ddmgnn::precond {
+
+using la::Index;
+
+void CholeskySubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
+                                    const partition::Decomposition& dec) {
+  (void)dec;
+  factors_.resize(local_matrices.size());
+  parallel_for_dynamic(static_cast<long>(local_matrices.size()), [&](long i) {
+    factors_[i] =
+        std::make_unique<la::SkylineCholesky>(local_matrices[i], true);
+  });
+}
+
+void CholeskySubdomainSolver::solve_all(
+    const std::vector<std::vector<double>>& r_loc,
+    std::vector<std::vector<double>>& z_loc) const {
+  DDMGNN_CHECK(r_loc.size() == factors_.size(), "solve_all: batch size");
+  parallel_for_dynamic(static_cast<long>(r_loc.size()), [&](long i) {
+    z_loc[i] = factors_[i]->solve(r_loc[i]);
+  });
+}
+
+AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
+                                 const partition::Decomposition& dec,
+                                 std::unique_ptr<SubdomainSolver> local_solver,
+                                 Config config)
+    : dec_(&dec), config_(config), solver_(std::move(local_solver)) {
+  DDMGNN_CHECK(a.rows() == dec.num_nodes(), "ASM: size mismatch");
+  DDMGNN_CHECK(solver_ != nullptr, "ASM: null subdomain solver");
+  const Index k = dec.num_parts;
+  std::vector<la::CsrMatrix> blocks(k);
+  parallel_for_dynamic(k, [&](long i) {
+    blocks[i] = a.principal_submatrix(dec.subdomains[i]);
+  });
+  solver_->setup(std::move(blocks), dec);
+  if (config_.two_level) {
+    coarse_.emplace(a, dec);
+  }
+  r_loc_.resize(k);
+  z_loc_.resize(k);
+  for (Index i = 0; i < k; ++i) {
+    r_loc_[i].resize(dec.subdomains[i].size());
+    z_loc_[i].resize(dec.subdomains[i].size());
+  }
+}
+
+void AdditiveSchwarz::apply(std::span<const double> r,
+                            std::span<double> z) const {
+  const Index n = dec_->num_nodes();
+  DDMGNN_CHECK(r.size() == static_cast<std::size_t>(n) && z.size() == r.size(),
+               "ASM::apply dims");
+  const Index k = dec_->num_parts;
+  for (Index i = 0; i < k; ++i) {
+    dec_->restrict_to(i, r, r_loc_[i]);
+  }
+  solver_->solve_all(r_loc_, z_loc_);
+  std::fill(z.begin(), z.end(), 0.0);
+  for (Index i = 0; i < k; ++i) {
+    dec_->prolong_add(i, z_loc_[i], z);
+  }
+  if (coarse_) {
+    coarse_->apply_add(r, z);
+  }
+}
+
+std::string AdditiveSchwarz::name() const {
+  return std::string("ddm-") + solver_->name() +
+         (config_.two_level ? "" : "-1level");
+}
+
+}  // namespace ddmgnn::precond

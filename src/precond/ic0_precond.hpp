@@ -1,0 +1,23 @@
+// IC(0) preconditioner wrapper — the "optimized legacy" baseline of Table III.
+#pragma once
+
+#include "la/csr.hpp"
+#include "la/ic0.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace ddmgnn::precond {
+
+class Ic0Preconditioner final : public Preconditioner {
+ public:
+  explicit Ic0Preconditioner(const la::CsrMatrix& a) : factor_(a) {}
+
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    factor_.apply(r, z);
+  }
+  std::string name() const override { return "ic0"; }
+
+ private:
+  la::IncompleteCholesky0 factor_;
+};
+
+}  // namespace ddmgnn::precond

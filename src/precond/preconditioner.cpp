@@ -1,0 +1,22 @@
+#include "precond/preconditioner.hpp"
+
+#include "common/error.hpp"
+
+namespace ddmgnn::precond {
+
+JacobiPreconditioner::JacobiPreconditioner(std::vector<double> diagonal)
+    : inv_diag_(std::move(diagonal)) {
+  for (double& d : inv_diag_) {
+    DDMGNN_CHECK(d != 0.0, "Jacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  DDMGNN_CHECK(r.size() == inv_diag_.size() && z.size() == r.size(),
+               "Jacobi::apply dims");
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+}  // namespace ddmgnn::precond

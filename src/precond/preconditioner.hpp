@@ -1,0 +1,47 @@
+// Preconditioner interface M⁻¹: maps a residual r to a correction z
+// (Algorithm 1's red lines). Implementations: Identity, Jacobi, IC(0),
+// one-/two-level Additive Schwarz with pluggable subdomain solvers (exact
+// Cholesky = the paper's DDM-LU; DSS GNN = the paper's DDM-GNN).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ddmgnn::precond {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// z = M⁻¹ r. Must not alias.
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True when M⁻¹ is symmetric positive definite — plain PCG is then safe;
+  /// otherwise the hybrid solver switches to flexible PCG.
+  virtual bool is_symmetric() const { return true; }
+};
+
+/// z = r.
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(std::span<const double> r, std::span<double> z) const override {
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i];
+  }
+  std::string name() const override { return "none"; }
+};
+
+/// z = diag(A)⁻¹ r.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(std::vector<double> diagonal);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+  std::string name() const override { return "jacobi"; }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+}  // namespace ddmgnn::precond

@@ -1,0 +1,54 @@
+// Strategy interface for the ASM local solves (paper Eq. 6/7, right term).
+// The two-level Schwarz preconditioner is agnostic to *how* the K local
+// problems R_i A R_iᵀ v_i = R_i r are solved:
+//   * CholeskySubdomainSolver — exact sparse factorization (paper's DDM-LU);
+//   * GnnSubdomainSolver (src/core) — DSS inference (paper's DDM-GNN).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/skyline_cholesky.hpp"
+#include "partition/decomposition.hpp"
+
+namespace ddmgnn::precond {
+
+class SubdomainSolver {
+ public:
+  virtual ~SubdomainSolver() = default;
+
+  /// One-time setup with all local operators (A_i = R_i A R_iᵀ, index i
+  /// matching dec.subdomains). Implementations may keep references.
+  virtual void setup(std::vector<la::CsrMatrix> local_matrices,
+                     const partition::Decomposition& dec) = 0;
+
+  /// Solve every local problem: z_loc[i] ≈ A_i⁻¹ r_loc[i]. Sizes match the
+  /// subdomain node counts. Called once per preconditioner application with
+  /// all K right-hand sides so implementations can batch (the paper batches
+  /// all subdomains into DSS inferences on the GPU; here across threads).
+  virtual void solve_all(const std::vector<std::vector<double>>& r_loc,
+                         std::vector<std::vector<double>>& z_loc) const = 0;
+
+  virtual std::string name() const = 0;
+  /// Whether each local solve is an SPD linear map of its input.
+  virtual bool is_symmetric() const = 0;
+};
+
+/// Exact local solves via RCM-ordered skyline Cholesky (factored in parallel).
+class CholeskySubdomainSolver final : public SubdomainSolver {
+ public:
+  void setup(std::vector<la::CsrMatrix> local_matrices,
+             const partition::Decomposition& dec) override;
+  void solve_all(const std::vector<std::vector<double>>& r_loc,
+                 std::vector<std::vector<double>>& z_loc) const override;
+  std::string name() const override { return "lu"; }
+  bool is_symmetric() const override { return true; }
+
+ private:
+  std::vector<std::unique_ptr<la::SkylineCholesky>> factors_;
+};
+
+}  // namespace ddmgnn::precond

@@ -1,0 +1,343 @@
+#include "solver/krylov.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "la/vector_ops.hpp"
+
+namespace ddmgnn::solver {
+
+namespace {
+
+using la::axpy;
+using la::dot;
+using la::norm2;
+using la::xpay;
+
+void check_dims(const CsrMatrix& a, std::span<const double> b,
+                std::span<double> x) {
+  DDMGNN_CHECK(a.rows() == a.cols(), "krylov: square matrix required");
+  DDMGNN_CHECK(b.size() == static_cast<std::size_t>(a.rows()) &&
+                   x.size() == b.size(),
+               "krylov: dimension mismatch");
+}
+
+}  // namespace
+
+SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                               std::span<double> x, const SolveOptions& opts) {
+  check_dims(a, b, x);
+  Timer timer;
+  SolveResult res;
+  res.method = "cg";
+  const std::size_t n = b.size();
+  std::vector<double> r(n), p(n), q(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  std::copy(r.begin(), r.end(), p.begin());
+  const double nb = norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+  double rho = dot(r, r);
+  double rnorm = std::sqrt(rho);
+  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  int it = 0;
+  while (rnorm > stop && it < opts.max_iterations) {
+    a.multiply(p, q);
+    const double alpha = rho / dot(p, q);
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    const double rho_next = dot(r, r);
+    const double beta = rho_next / rho;
+    xpay(r, beta, p);
+    rho = rho_next;
+    rnorm = std::sqrt(rho);
+    ++it;
+    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  }
+  res.iterations = it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  return res;
+}
+
+SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
+                std::span<const double> b, std::span<double> x,
+                const SolveOptions& opts) {
+  check_dims(a, b, x);
+  Timer timer;
+  Accumulator precond_time;
+  SolveResult res;
+  res.method = "pcg+" + m.name();
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n), p(n), q(n);
+  // r0 = b - A x0, z0 = M⁻¹ r0, p0 = z0   (Algorithm 1)
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  {
+    ScopedAccumulate t(precond_time);
+    m.apply(r, z);
+  }
+  std::copy(z.begin(), z.end(), p.begin());
+  const double nb = norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+  double rho = dot(r, z);
+  double rnorm = norm2(r);
+  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  int it = 0;
+  while (rnorm > stop && it < opts.max_iterations) {
+    a.multiply(p, q);
+    const double alpha = rho / dot(p, q);
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    rnorm = norm2(r);
+    ++it;
+    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (rnorm <= stop) break;
+    {
+      ScopedAccumulate t(precond_time);
+      m.apply(r, z);
+    }
+    const double rho_next = dot(r, z);
+    const double beta = rho_next / rho;
+    xpay(z, beta, p);
+    rho = rho_next;
+  }
+  res.iterations = it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  res.precond_seconds = precond_time.total();
+  return res;
+}
+
+SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
+                         std::span<const double> b, std::span<double> x,
+                         const SolveOptions& opts) {
+  check_dims(a, b, x);
+  Timer timer;
+  Accumulator precond_time;
+  SolveResult res;
+  res.method = "fpcg+" + m.name();
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n), z_prev(n), dz(n), p(n), q(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  {
+    ScopedAccumulate t(precond_time);
+    m.apply(r, z);
+  }
+  std::copy(z.begin(), z.end(), p.begin());
+  const double nb = norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+  double rho = dot(r, z);
+  double rnorm = norm2(r);
+  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  int it = 0;
+  while (rnorm > stop && it < opts.max_iterations) {
+    a.multiply(p, q);
+    const double pq = dot(p, q);
+    if (pq <= 0.0 || rho == 0.0) {
+      // Direction lost positivity (can happen with a nonlinear
+      // preconditioner): restart from the preconditioned residual.
+      {
+        ScopedAccumulate t(precond_time);
+        m.apply(r, z);
+      }
+      std::copy(z.begin(), z.end(), p.begin());
+      rho = dot(r, z);
+      a.multiply(p, q);
+      const double pq2 = dot(p, q);
+      DDMGNN_CHECK(pq2 > 0.0, "flexible_pcg: breakdown");
+    }
+    const double alpha = rho / dot(p, q);
+    axpy(alpha, p, x);
+    std::copy(z.begin(), z.end(), z_prev.begin());
+    axpy(-alpha, q, r);
+    rnorm = norm2(r);
+    ++it;
+    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (rnorm <= stop) break;
+    {
+      ScopedAccumulate t(precond_time);
+      m.apply(r, z);
+    }
+    // Polak–Ribière: β = <r, z - z_prev> / rho.
+    for (std::size_t i = 0; i < n; ++i) dz[i] = z[i] - z_prev[i];
+    const double beta = dot(r, dz) / rho;
+    rho = dot(r, z);
+    xpay(z, beta, p);
+  }
+  res.iterations = it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  res.precond_seconds = precond_time.total();
+  return res;
+}
+
+SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
+                     std::span<const double> b, std::span<double> x,
+                     const SolveOptions& opts) {
+  check_dims(a, b, x);
+  Timer timer;
+  Accumulator precond_time;
+  SolveResult res;
+  res.method = "bicgstab+" + m.name();
+  const std::size_t n = b.size();
+  std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  std::copy(r.begin(), r.end(), r0.begin());
+  const double nb = norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  std::fill(p.begin(), p.end(), 0.0);
+  std::fill(v.begin(), v.end(), 0.0);
+  double rnorm = norm2(r);
+  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  int it = 0;
+  while (rnorm > stop && it < opts.max_iterations) {
+    const double rho_next = dot(r0, r);
+    if (rho_next == 0.0) break;  // breakdown
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    {
+      ScopedAccumulate tt(precond_time);
+      m.apply(p, ph);
+    }
+    a.multiply(ph, v);
+    alpha = rho / dot(r0, v);
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) <= stop) {
+      axpy(alpha, ph, x);
+      r = s;
+      rnorm = norm2(r);
+      ++it;
+      if (opts.track_history)
+        res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+      break;
+    }
+    {
+      ScopedAccumulate tt(precond_time);
+      m.apply(s, sh);
+    }
+    a.multiply(sh, t);
+    const double tt_dot = dot(t, t);
+    if (tt_dot == 0.0) break;
+    omega = dot(t, s) / tt_dot;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * ph[i] + omega * sh[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    rnorm = norm2(r);
+    ++it;
+    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (omega == 0.0) break;
+  }
+  res.iterations = it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  res.precond_seconds = precond_time.total();
+  return res;
+}
+
+SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
+                  std::span<const double> b, std::span<double> x,
+                  const SolveOptions& opts, int restart) {
+  check_dims(a, b, x);
+  DDMGNN_CHECK(restart >= 1, "gmres: restart must be >= 1");
+  Timer timer;
+  Accumulator precond_time;
+  SolveResult res;
+  res.method = "gmres+" + m.name();
+  const std::size_t n = b.size();
+  const double nb = norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+
+  std::vector<std::vector<double>> basis;  // Krylov basis v_0..v_m
+  std::vector<std::vector<double>> zs;     // preconditioned basis vectors
+  std::vector<double> r(n), w(n), zw(n);
+  // Hessenberg in column-major (restart+1) x restart, plus Givens rotations.
+  std::vector<double> h((restart + 1) * restart, 0.0);
+  std::vector<double> cs(restart), sn(restart), g(restart + 1);
+
+  int total_it = 0;
+  double rnorm = 0.0;
+  bool first = true;
+  while (true) {
+    a.multiply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    rnorm = norm2(r);
+    if (first && opts.track_history) {
+      res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    }
+    first = false;
+    if (rnorm <= stop || total_it >= opts.max_iterations) break;
+
+    basis.assign(1, r);
+    la::scale(1.0 / rnorm, basis[0]);
+    zs.clear();
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = rnorm;
+    int k = 0;
+    for (; k < restart && total_it < opts.max_iterations; ++k) {
+      {
+        ScopedAccumulate t(precond_time);
+        m.apply(basis[k], zw);
+      }
+      zs.push_back(zw);
+      a.multiply(zw, w);
+      // Modified Gram-Schmidt.
+      for (int j = 0; j <= k; ++j) {
+        const double hij = dot(w, basis[j]);
+        h[j * restart + k] = hij;
+        axpy(-hij, basis[j], w);
+      }
+      const double hk1 = norm2(w);
+      basis.emplace_back(w);
+      if (hk1 > 0.0) la::scale(1.0 / hk1, basis.back());
+      // Apply previous Givens rotations to the new column.
+      for (int j = 0; j < k; ++j) {
+        const double t1 = cs[j] * h[j * restart + k] + sn[j] * h[(j + 1) * restart + k];
+        const double t2 = -sn[j] * h[j * restart + k] + cs[j] * h[(j + 1) * restart + k];
+        h[j * restart + k] = t1;
+        h[(j + 1) * restart + k] = t2;
+      }
+      const double denom = std::hypot(h[k * restart + k], hk1);
+      cs[k] = denom == 0.0 ? 1.0 : h[k * restart + k] / denom;
+      sn[k] = denom == 0.0 ? 0.0 : hk1 / denom;
+      h[k * restart + k] = denom;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      ++total_it;
+      rnorm = std::abs(g[k + 1]);
+      if (opts.track_history)
+        res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+      if (rnorm <= stop) {
+        ++k;
+        break;
+      }
+    }
+    // Back-substitute y and update x += Σ y_j z_j (right preconditioning).
+    std::vector<double> y(k, 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double acc = g[i];
+      for (int j = i + 1; j < k; ++j) acc -= h[i * restart + j] * y[j];
+      y[i] = acc / h[i * restart + i];
+    }
+    for (int j = 0; j < k; ++j) axpy(y[j], zs[j], x);
+    if (total_it >= opts.max_iterations) break;
+  }
+  res.iterations = total_it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  res.precond_seconds = precond_time.total();
+  return res;
+}
+
+}  // namespace ddmgnn::solver

@@ -1,0 +1,66 @@
+// Krylov solvers (paper §II): CG, preconditioned CG exactly as Algorithm 1,
+// flexible PCG (Polak–Ribière β — required when the preconditioner is not a
+// fixed SPD operator, which is the case for DDM-GNN), BiCGStab and restarted
+// GMRES for non-symmetric settings. All report per-iteration relative
+// residual histories (Fig. 5b) and the accumulated preconditioner time
+// (Table III's T_lu / T_gnn columns).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "precond/preconditioner.hpp"
+
+namespace ddmgnn::solver {
+
+using la::CsrMatrix;
+
+struct SolveOptions {
+  int max_iterations = 10000;
+  /// Convergence: ||r_k|| <= rel_tol * ||b||.
+  double rel_tol = 1e-6;
+  bool track_history = true;
+};
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  double final_relative_residual = 0.0;
+  /// history[k] = ||r_k|| / ||b|| (k = 0 is the initial residual).
+  std::vector<double> history;
+  double total_seconds = 0.0;
+  /// Time spent inside Preconditioner::apply.
+  double precond_seconds = 0.0;
+  std::string method;
+};
+
+/// Unpreconditioned conjugate gradient.
+SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                               std::span<double> x,
+                               const SolveOptions& opts = {});
+
+/// Preconditioned CG, Algorithm 1 of the paper (Fletcher–Reeves β).
+SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
+                std::span<const double> b, std::span<double> x,
+                const SolveOptions& opts = {});
+
+/// Flexible PCG: β = <r_{k+1}, z_{k+1} - z_k> / <r_k, z_k>. Tolerates
+/// non-symmetric / nonlinear preconditioners such as the GNN.
+SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
+                         std::span<const double> b, std::span<double> x,
+                         const SolveOptions& opts = {});
+
+/// Preconditioned BiCGStab (right preconditioning).
+SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
+                     std::span<const double> b, std::span<double> x,
+                     const SolveOptions& opts = {});
+
+/// Restarted GMRES(m) with right preconditioning.
+SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
+                  std::span<const double> b, std::span<double> x,
+                  const SolveOptions& opts = {}, int restart = 50);
+
+}  // namespace ddmgnn::solver

@@ -1,0 +1,49 @@
+#include "solver/stationary.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "la/vector_ops.hpp"
+
+namespace ddmgnn::solver {
+
+SolveResult stationary_iteration(const CsrMatrix& a,
+                                 const precond::Preconditioner& m,
+                                 std::span<const double> b,
+                                 std::span<double> x, const SolveOptions& opts,
+                                 double damping) {
+  DDMGNN_CHECK(a.rows() == a.cols() &&
+                   b.size() == static_cast<std::size_t>(a.rows()) &&
+                   x.size() == b.size(),
+               "stationary_iteration: dimension mismatch");
+  Timer timer;
+  Accumulator precond_time;
+  SolveResult res;
+  res.method = "richardson+" + m.name();
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n);
+  const double nb = la::norm2(b);
+  const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
+  int it = 0;
+  double rnorm = 0.0;
+  while (true) {
+    a.multiply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    rnorm = la::norm2(r);
+    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (rnorm <= stop || it >= opts.max_iterations) break;
+    {
+      ScopedAccumulate t(precond_time);
+      m.apply(r, z);
+    }
+    la::axpy(damping, z, x);
+    ++it;
+  }
+  res.iterations = it;
+  res.converged = rnorm <= stop;
+  res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
+  res.total_seconds = timer.seconds();
+  res.precond_seconds = precond_time.total();
+  return res;
+}
+
+}  // namespace ddmgnn::solver

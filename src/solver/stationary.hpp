@@ -1,0 +1,23 @@
+// Stationary (Richardson) iteration with a preconditioner — the historical
+// form of the Schwarz method and the paper's Eq. 8/9:
+//   u^{n+1} = u^n + M⁻¹ (b − A u^n)
+// Schwarz methods were introduced as stationary solvers before being used as
+// Krylov preconditioners (§II-A); this solver lets the benches and tests
+// compare both usages (Krylov acceleration is strictly better, which the
+// stationary_vs_pcg test asserts).
+#pragma once
+
+#include "solver/krylov.hpp"
+
+namespace ddmgnn::solver {
+
+/// Preconditioned Richardson iteration (paper Eq. 8). `damping` scales the
+/// correction (1.0 = the paper's plain fixed-point form).
+SolveResult stationary_iteration(const CsrMatrix& a,
+                                 const precond::Preconditioner& m,
+                                 std::span<const double> b,
+                                 std::span<double> x,
+                                 const SolveOptions& opts = {},
+                                 double damping = 1.0);
+
+}  // namespace ddmgnn::solver

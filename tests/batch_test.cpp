@@ -1,0 +1,128 @@
+// Batched-inference tests (paper Eq. 14): a disjoint-union forward must be
+// equivalent to per-graph forwards, and the batched loss must equal the
+// node-weighted mean of per-graph losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gnn/batch.hpp"
+#include "gnn/dss_model.hpp"
+#include "gnn/graph.hpp"
+#include "la/vector_ops.hpp"
+#include "mesh/geometry.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using la::CooBuilder;
+using la::CsrMatrix;
+using la::Index;
+using mesh::Point2;
+
+gnn::GraphSample ring_sample(Index n, std::uint64_t seed, double spacing) {
+  std::vector<Point2> coords(n);
+  std::vector<std::uint8_t> dirichlet(n, 0);
+  dirichlet[0] = 1;
+  for (Index i = 0; i < n; ++i) {
+    const double a = 2.0 * 3.14159265358979 * i / n;
+    coords[i] = {spacing * std::cos(a), spacing * std::sin(a)};
+  }
+  CooBuilder coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    if (dirichlet[i]) {
+      coo.add(i, i, 1.0);
+      continue;
+    }
+    coo.add(i, i, 2.5);
+    for (const Index j : {(i + 1) % n, (i + n - 1) % n}) {
+      if (!dirichlet[j]) coo.add(i, j, -1.0);
+    }
+  }
+  CooBuilder pat(n, n);
+  for (Index i = 0; i < n; ++i) {
+    pat.add(i, (i + 1) % n, 1.0);
+    pat.add((i + 1) % n, i, 1.0);
+  }
+  const CsrMatrix pattern = std::move(pat).build();
+  gnn::GraphSample s;
+  s.topo =
+      gnn::build_topology(std::move(coo).build(), coords, dirichlet, &pattern);
+  Rng rng(seed);
+  s.rhs.resize(n);
+  for (double& v : s.rhs) v = rng.uniform(-1, 1);
+  const double norm = la::norm2(s.rhs);
+  for (double& v : s.rhs) v /= norm;
+  return s;
+}
+
+TEST(Batch, OffsetsAndSizesAreConsistent) {
+  std::vector<gnn::GraphSample> parts{ring_sample(8, 1, 0.1),
+                                      ring_sample(12, 2, 0.2),
+                                      ring_sample(5, 3, 0.15)};
+  const auto batch = gnn::batch_samples(parts);
+  EXPECT_EQ(batch.num_parts(), 3);
+  EXPECT_EQ(batch.merged.topo->n, 25);
+  EXPECT_EQ(batch.offsets.back(), 25);
+  EXPECT_EQ(batch.merged.topo->num_edges(),
+            parts[0].topo->num_edges() + parts[1].topo->num_edges() +
+                parts[2].topo->num_edges());
+  EXPECT_EQ(batch.merged.topo->a_local.nnz(),
+            parts[0].topo->a_local.nnz() + parts[1].topo->a_local.nnz() +
+                parts[2].topo->a_local.nnz());
+}
+
+TEST(Batch, NoEdgesCrossBlockBoundaries) {
+  std::vector<gnn::GraphSample> parts{ring_sample(9, 4, 0.1),
+                                      ring_sample(7, 5, 0.3)};
+  const auto batch = gnn::batch_samples(parts);
+  const auto& t = *batch.merged.topo;
+  for (Index e = 0; e < t.num_edges(); ++e) {
+    const bool recv_in_first = t.recv[e] < batch.offsets[1];
+    const bool send_in_first = t.send[e] < batch.offsets[1];
+    EXPECT_EQ(recv_in_first, send_in_first);
+  }
+}
+
+TEST(Batch, ForwardEquivalentToPerGraphForward) {
+  std::vector<gnn::GraphSample> parts{ring_sample(10, 6, 0.1),
+                                      ring_sample(14, 7, 0.25),
+                                      ring_sample(6, 8, 0.4)};
+  gnn::DssConfig cfg;
+  cfg.iterations = 4;
+  cfg.latent = 6;
+  cfg.hidden = 8;
+  const gnn::DssModel model(cfg, 33);
+  gnn::DssWorkspace ws;
+  const auto batch = gnn::batch_samples(parts);
+  std::vector<float> merged_out;
+  model.forward(batch.merged, ws, merged_out);
+  for (Index p = 0; p < batch.num_parts(); ++p) {
+    std::vector<float> solo;
+    model.forward(parts[p], ws, solo);
+    const auto slice =
+        batch.split(std::span<const float>(merged_out), p);
+    ASSERT_EQ(slice.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_NEAR(slice[i], solo[i], 1e-5f) << "part " << p << " node " << i;
+    }
+  }
+}
+
+TEST(Batch, LossIsNodeWeightedMeanOfParts) {
+  std::vector<gnn::GraphSample> parts{ring_sample(10, 9, 0.1),
+                                      ring_sample(20, 10, 0.2)};
+  gnn::DssConfig cfg;
+  cfg.iterations = 3;
+  cfg.latent = 5;
+  cfg.hidden = 6;
+  const gnn::DssModel model(cfg, 13);
+  gnn::DssWorkspace ws;
+  const auto batch = gnn::batch_samples(parts);
+  const double merged = model.final_residual_loss(batch.merged, ws);
+  const double l0 = model.final_residual_loss(parts[0], ws);
+  const double l1 = model.final_residual_loss(parts[1], ws);
+  EXPECT_NEAR(merged, (10.0 * l0 + 20.0 * l1) / 30.0, 1e-8);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// FEM assembly tests: SPD-ness, Dirichlet handling, manufactured solutions,
+// convergence under refinement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fem/poisson.hpp"
+#include "la/skyline_cholesky.hpp"
+#include "la/vector_ops.hpp"
+#include "mesh/generator.hpp"
+#include "solver/krylov.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using la::Index;
+using mesh::Point2;
+
+TEST(Fem, StiffnessIsSymmetric) {
+  const mesh::Mesh m = mesh::generate_mesh(mesh::random_domain(2), 0.08, 2);
+  const auto prob = fem::assemble_poisson(
+      m, [](const Point2&) { return 1.0; }, [](const Point2&) { return 0.0; });
+  EXPECT_LT(prob.A.symmetry_defect(), 1e-12);
+}
+
+TEST(Fem, DirichletRowsAreIdentity) {
+  const mesh::Mesh m = mesh::generate_mesh(mesh::random_domain(3), 0.1, 3);
+  const auto prob = fem::assemble_poisson(
+      m, [](const Point2&) { return 1.0; },
+      [](const Point2& p) { return p.x + 2.0 * p.y; });
+  for (Index i = 0; i < m.num_nodes(); ++i) {
+    if (!prob.dirichlet[i]) continue;
+    EXPECT_DOUBLE_EQ(prob.A.at(i, i), 1.0);
+    EXPECT_DOUBLE_EQ(prob.b[i], m.points()[i].x + 2.0 * m.points()[i].y);
+    // Whole row is just the diagonal.
+    const auto rp = prob.A.row_ptr();
+    EXPECT_EQ(rp[i + 1] - rp[i], 1);
+  }
+}
+
+TEST(Fem, ExactForLinearSolutions) {
+  // P1 elements reproduce affine functions exactly: -Δu = 0, u = g = affine.
+  const mesh::Mesh m = mesh::generate_mesh(mesh::random_domain(5), 0.07, 5);
+  const auto prob = fem::assemble_poisson(
+      m, [](const Point2&) { return 0.0; },
+      [](const Point2& p) { return 3.0 * p.x - 2.0 * p.y + 0.5; });
+  la::SkylineCholesky chol(prob.A);
+  const auto u = chol.solve(prob.b);
+  double max_err = 0.0;
+  for (Index i = 0; i < m.num_nodes(); ++i) {
+    const double exact = 3.0 * m.points()[i].x - 2.0 * m.points()[i].y + 0.5;
+    max_err = std::max(max_err, std::abs(u[i] - exact));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(Fem, ConvergesForManufacturedQuadratic) {
+  // u = x² + y² -> f = -Δu = -4, g = u. P1 error is O(h²) in L∞-ish norm.
+  auto solve_err = [](double h) {
+    const mesh::Mesh m =
+        mesh::generate_mesh(mesh::random_domain(7), h, 7);
+    const auto prob = fem::assemble_poisson(
+        m, [](const Point2&) { return -4.0; },
+        [](const Point2& p) { return p.x * p.x + p.y * p.y; });
+    la::SkylineCholesky chol(prob.A);
+    const auto u = chol.solve(prob.b);
+    double err = 0.0;
+    for (Index i = 0; i < m.num_nodes(); ++i) {
+      const Point2& p = m.points()[i];
+      err = std::max(err, std::abs(u[i] - (p.x * p.x + p.y * p.y)));
+    }
+    return err;
+  };
+  const double e1 = solve_err(0.12);
+  const double e2 = solve_err(0.06);
+  EXPECT_LT(e2, e1);        // refinement helps
+  EXPECT_LT(e2, 0.05);      // and the absolute error is small
+}
+
+TEST(Fem, SpdOnRandomProblems) {
+  // x' A x > 0 for random x: a practical SPD probe (A also passes Cholesky).
+  const mesh::Mesh m = mesh::generate_mesh(mesh::random_domain(11), 0.09, 11);
+  const auto data = fem::sample_quadratic_data(11);
+  const auto prob = fem::assemble_poisson(
+      m, [&](const Point2& p) { return data.f(p); },
+      [&](const Point2& p) { return data.g(p); });
+  EXPECT_NO_THROW(la::SkylineCholesky{prob.A});
+  Rng rng(12);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> x(m.num_nodes());
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    const auto ax = prob.A.apply(x);
+    EXPECT_GT(la::dot(x, ax), 0.0);
+  }
+}
+
+TEST(Fem, QuadraticDataMatchesPaperForm) {
+  const auto q = fem::sample_quadratic_data(123);
+  for (const double c : q.r) {
+    EXPECT_GE(c, -10.0);
+    EXPECT_LE(c, 10.0);
+  }
+  // f(x,y) = r1 (x-1)² + r2 y² + r3 at a few points.
+  const Point2 p{0.3, -0.7};
+  EXPECT_NEAR(q.f(p),
+              q.r[0] * (0.3 - 1) * (0.3 - 1) + q.r[1] * 0.49 + q.r[2], 1e-12);
+  EXPECT_NEAR(q.g(p),
+              q.r[3] * 0.09 + q.r[4] * 0.49 + q.r[5] * (0.3 * -0.7) +
+                  q.r[6] * 0.3 + q.r[7] * -0.7 + q.r[8],
+              1e-12);
+  // Length scaling: g at (s·x, s·y) with scale s equals unscaled g at (x, y).
+  const auto qs = fem::QuadraticData{{q.r[0], q.r[1], q.r[2], q.r[3], q.r[4],
+                                      q.r[5], q.r[6], q.r[7], q.r[8]},
+                                     2.0};
+  EXPECT_NEAR(qs.g({0.6, -1.4}), q.g(p), 1e-12);
+}
+
+TEST(Fem, RelativeResidualZeroAtSolution) {
+  const mesh::Mesh m = mesh::generate_mesh(mesh::random_domain(15), 0.1, 15);
+  const auto prob = fem::assemble_poisson(
+      m, [](const Point2&) { return 1.0; }, [](const Point2&) { return 0.0; });
+  la::SkylineCholesky chol(prob.A);
+  const auto u = chol.solve(prob.b);
+  EXPECT_LT(fem::relative_residual(prob.A, prob.b, u), 1e-12);
+  std::vector<double> zero(u.size(), 0.0);
+  EXPECT_NEAR(fem::relative_residual(prob.A, prob.b, zero), 1.0, 1e-12);
+}
+
+}  // namespace

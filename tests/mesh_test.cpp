@@ -1,0 +1,215 @@
+// Tests for the meshing substrate: geometry predicates, Delaunay property,
+// generator invariants across random domains (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "mesh/delaunay.hpp"
+#include "mesh/generator.hpp"
+#include "mesh/geometry.hpp"
+#include "mesh/mesh.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using mesh::Point2;
+
+TEST(Geometry, Orient2dSign) {
+  EXPECT_GT(mesh::orient2d({0, 0}, {1, 0}, {0, 1}), 0.0);
+  EXPECT_LT(mesh::orient2d({0, 0}, {0, 1}, {1, 0}), 0.0);
+  EXPECT_EQ(mesh::orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(Geometry, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(mesh::point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(mesh::point_segment_distance({2, 0}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(mesh::point_segment_distance({5, 0}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Geometry, SplineInterpolatesSmoothClosedCurve) {
+  std::vector<Point2> square{{1, 1}, {-1, 1}, {-1, -1}, {1, -1}};
+  mesh::ClosedSpline sp(square);
+  // Catmull-Rom passes through its control points at t=0.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const Point2 p = sp.evaluate(s, 0.0);
+    EXPECT_NEAR(p.x, square[s].x, 1e-12);
+    EXPECT_NEAR(p.y, square[s].y, 1e-12);
+  }
+  const auto poly = sp.sample(0.05);
+  EXPECT_GT(poly.size(), 100u);
+  // Successive samples should be spaced below ~2x the requested spacing.
+  for (std::size_t i = 0; i + 1 < poly.size(); ++i) {
+    EXPECT_LT((poly[i + 1] - poly[i]).norm(), 0.2);
+  }
+}
+
+TEST(Geometry, PolygonLocatorSquare) {
+  mesh::PolygonLocator sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_TRUE(sq.contains({1.0, 1.0}));
+  EXPECT_TRUE(sq.contains({0.01, 1.99}));
+  EXPECT_FALSE(sq.contains({-0.5, 1.0}));
+  EXPECT_FALSE(sq.contains({2.5, 1.0}));
+  EXPECT_FALSE(sq.contains({1.0, -0.1}));
+  EXPECT_NEAR(std::abs(sq.signed_area()), 4.0, 1e-12);
+  EXPECT_TRUE(sq.within_clearance({0.05, 1.0}, 0.1));
+  EXPECT_FALSE(sq.within_clearance({1.0, 1.0}, 0.5));
+}
+
+TEST(Geometry, PolygonLocatorMatchesBruteForceOnBlob) {
+  const mesh::Domain dom = mesh::random_domain(3);
+  const auto& verts = dom.outer.vertices();
+  const int n = static_cast<int>(verts.size());
+  auto brute = [&](const Point2& p) {
+    bool inside = false;
+    for (int i = 0; i < n; ++i) {
+      const Point2& a = verts[i];
+      const Point2& b = verts[(i + 1) % n];
+      if ((a.y > p.y) != (b.y > p.y)) {
+        const double xi = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+        if (xi > p.x) inside = !inside;
+      }
+    }
+    return inside;
+  };
+  Rng rng(11);
+  for (int t = 0; t < 2000; ++t) {
+    const Point2 p{rng.uniform(-1.6, 1.6), rng.uniform(-1.6, 1.6)};
+    EXPECT_EQ(dom.outer.contains(p), brute(p)) << p.x << "," << p.y;
+  }
+}
+
+TEST(Delaunay, EmptyCircumcirclePropertyOnRandomPoints) {
+  Rng rng(17);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  const auto tris = mesh::delaunay_triangulate(pts);
+  ASSERT_GT(tris.size(), 0u);
+  // Check the defining property on a subsample (full check is O(T*N)).
+  for (std::size_t t = 0; t < tris.size(); t += 7) {
+    const auto& tr = tris[t];
+    for (int p = 0; p < 300; p += 3) {
+      if (p == tr[0] || p == tr[1] || p == tr[2]) continue;
+      EXPECT_FALSE(mesh::in_circumcircle(pts[tr[0]], pts[tr[1]], pts[tr[2]],
+                                         pts[p]))
+          << "triangle " << t << " contains point " << p;
+    }
+  }
+}
+
+TEST(Delaunay, CoversConvexHullArea) {
+  // Points on a square grid (jittered): total triangle area == hull area.
+  Rng rng(23);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      pts.push_back({i + 0.3 * rng.uniform(-1, 1), j + 0.3 * rng.uniform(-1, 1)});
+    }
+  }
+  const auto tris = mesh::delaunay_triangulate(pts);
+  double area = 0.0;
+  for (const auto& t : tris) {
+    area += 0.5 * mesh::orient2d(pts[t[0]], pts[t[1]], pts[t[2]]);
+  }
+  // Hull area is close to the 19x19 cell grid area minus boundary jitter.
+  EXPECT_NEAR(area, 19.0 * 19.0, 25.0);
+  // Euler-ish sanity: T ≈ 2·N for large point sets.
+  EXPECT_GT(tris.size(), 1.7 * pts.size());
+  EXPECT_LT(tris.size(), 2.1 * pts.size());
+}
+
+TEST(Delaunay, AllInputPointsAppear) {
+  Rng rng(29);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 150; ++i)
+    pts.push_back({rng.uniform(-2, 2), rng.uniform(-1, 1)});
+  const auto tris = mesh::delaunay_triangulate(pts);
+  std::set<int> used;
+  for (const auto& t : tris) used.insert(t.begin(), t.end());
+  EXPECT_EQ(used.size(), pts.size());
+}
+
+class MeshGenParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeshGenParam, GeneratorInvariantsOnRandomDomains) {
+  const std::uint64_t seed = GetParam();
+  const mesh::Domain dom = mesh::random_domain(seed);
+  const mesh::Mesh m = mesh::generate_mesh(dom, 0.06, seed);
+  ASSERT_GT(m.num_nodes(), 200);
+  // CCW triangles with sane areas.
+  for (la::Index t = 0; t < m.num_triangles(); ++t) {
+    EXPECT_GT(m.triangle_area(t), 0.0);
+  }
+  // Mesh area close to domain area.
+  EXPECT_NEAR(m.total_area(), dom.area(), 0.08 * dom.area());
+  // Boundary nodes exist and form a minority.
+  EXPECT_GT(m.num_boundary_nodes(), 10);
+  EXPECT_LT(m.num_boundary_nodes(), m.num_nodes() / 2);
+  // Adjacency is symmetric and loop-free.
+  const auto ptr = m.adj_ptr();
+  const auto adj = m.adj();
+  for (la::Index u = 0; u < m.num_nodes(); ++u) {
+    for (la::Offset e = ptr[u]; e < ptr[u + 1]; ++e) {
+      const la::Index v = adj[e];
+      EXPECT_NE(u, v);
+      bool back = false;
+      for (la::Offset e2 = ptr[v]; e2 < ptr[v + 1]; ++e2) {
+        if (adj[e2] == u) back = true;
+      }
+      EXPECT_TRUE(back);
+    }
+  }
+  // Every node is used by some triangle (generator compacts).
+  std::vector<int> deg(m.num_nodes(), 0);
+  for (const auto& t : m.triangles()) {
+    for (const auto v : t) ++deg[v];
+  }
+  for (la::Index i = 0; i < m.num_nodes(); ++i) EXPECT_GT(deg[i], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshGenParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+TEST(MeshGen, TargetNodeCountIsApproximatelyMet) {
+  for (const la::Index target : {1000, 4000, 9000}) {
+    const mesh::Domain dom = mesh::random_domain(5);
+    const mesh::Mesh m = mesh::generate_mesh_target_nodes(dom, target, 5);
+    EXPECT_GT(m.num_nodes(), 0.8 * target);
+    EXPECT_LT(m.num_nodes(), 1.25 * target);
+  }
+}
+
+TEST(MeshGen, RadiusScalingGrowsNodesQuadratically) {
+  const double h = 0.08;
+  const mesh::Mesh m1 = mesh::generate_mesh(mesh::random_domain(9, 1.0), h, 9);
+  const mesh::Mesh m2 = mesh::generate_mesh(mesh::random_domain(9, 2.0), h, 9);
+  const double ratio =
+      static_cast<double>(m2.num_nodes()) / static_cast<double>(m1.num_nodes());
+  EXPECT_GT(ratio, 3.0);  // ~4x for 2x radius at fixed element size
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(MeshGen, F1DomainHasHolesAndMeshes) {
+  const mesh::Domain dom = mesh::f1_domain(1.0);
+  ASSERT_EQ(dom.holes.size(), 3u);
+  // Hole interiors are not in the domain.
+  EXPECT_FALSE(dom.contains({0.3, 0.1}));   // cockpit
+  EXPECT_FALSE(dom.contains({-2.0, -0.05}));  // front wing
+  EXPECT_TRUE(dom.contains({1.2, -0.3}));
+  const mesh::Mesh m = mesh::generate_mesh(dom, 0.08, 3);
+  EXPECT_GT(m.num_nodes(), 500);
+  EXPECT_NEAR(m.total_area(), dom.area(), 0.1 * dom.area());
+}
+
+TEST(Mesh, DiameterEstimatePositiveAndBounded) {
+  const mesh::Mesh m =
+      mesh::generate_mesh(mesh::random_domain(13), 0.08, 13);
+  const la::Index d = m.diameter_estimate();
+  EXPECT_GT(d, 5);
+  EXPECT_LT(d, m.num_nodes());
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Neural-network kernel tests: forward semantics, finite-difference gradient
+// checks of Linear/MLP backward, Adam convergence, clipping, scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "nn/param_store.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using nn::Tensor;
+
+TEST(ParamStore, AllocatesDisjointSlots) {
+  nn::ParameterStore ps;
+  const auto a = ps.allocate(3, 4);
+  const auto b = ps.allocate(2, 2);
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(a.size(), 12u);
+  EXPECT_EQ(b.offset, 12u);
+  ps.finalize();
+  EXPECT_EQ(ps.size(), 16u);
+  EXPECT_EQ(ps.values().size(), 16u);
+}
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  nn::ParameterStore ps;
+  nn::Linear lin(ps, 2, 3);
+  ps.finalize();
+  auto p = ps.values();
+  // W = [[1,2],[3,4],[5,6]], b = [0.5, -0.5, 1].
+  const float w[6] = {1, 2, 3, 4, 5, 6};
+  for (int i = 0; i < 6; ++i) p[i] = w[i];
+  p[6] = 0.5f;
+  p[7] = -0.5f;
+  p[8] = 1.0f;
+  Tensor x(1, 2);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = -1.0f;
+  Tensor y;
+  lin.forward(ps.data(), x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 - 2 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3 - 4 - 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 5 - 6 + 1.0f);
+}
+
+/// Scalar loss L = Σ y_ij · t_ij with fixed targets lets us gradient-check
+/// through dL/dy = t.
+double mlp_loss(const nn::Mlp& mlp, const float* params, const Tensor& x,
+                const Tensor& t) {
+  nn::Mlp::Cache cache;
+  Tensor y;
+  mlp.forward(params, x, y, cache);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) acc += y.d[i] * t.d[i];
+  return acc;
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  nn::ParameterStore ps;
+  nn::Mlp mlp(ps, 5, 7, 3);
+  ps.finalize();
+  Rng rng(3);
+  mlp.init(ps.values(), rng);
+  Tensor x(4, 5), t(4, 3);
+  for (auto& v : x.d) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : t.d) v = static_cast<float>(rng.uniform(-1, 1));
+
+  // Analytic gradients.
+  std::vector<float> grads(ps.size(), 0.0f);
+  {
+    nn::Mlp::Cache cache;
+    Tensor y;
+    mlp.forward(ps.data(), x, y, cache);
+    Tensor dx;
+    mlp.backward(ps.data(), x, cache, t, &dx, grads.data());
+    // Also check input gradients below via FD on x.
+    const double eps = 1e-3;
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto idx = rng.uniform_index(x.size());
+      const float saved = x.d[idx];
+      x.d[idx] = saved + static_cast<float>(eps);
+      const double lp = mlp_loss(mlp, ps.data(), x, t);
+      x.d[idx] = saved - static_cast<float>(eps);
+      const double lm = mlp_loss(mlp, ps.data(), x, t);
+      x.d[idx] = saved;
+      const double fd = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(dx.d[idx], fd, 5e-3 + 0.02 * std::abs(fd)) << "input grad";
+    }
+  }
+  // FD on parameters.
+  const double eps = 1e-3;
+  auto p = ps.values();
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto idx = rng.uniform_index(ps.size());
+    const float saved = p[idx];
+    p[idx] = saved + static_cast<float>(eps);
+    const double lp = mlp_loss(mlp, ps.data(), x, t);
+    p[idx] = saved - static_cast<float>(eps);
+    const double lm = mlp_loss(mlp, ps.data(), x, t);
+    p[idx] = saved;
+    const double fd = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grads[idx], fd, 5e-3 + 0.02 * std::abs(fd)) << "param " << idx;
+  }
+}
+
+TEST(Mlp, ReluBlocksNegativePreactivationGradients) {
+  nn::ParameterStore ps;
+  nn::Mlp mlp(ps, 1, 1, 1);
+  ps.finalize();
+  auto p = ps.values();
+  // l1: w=1, b=-5 -> pre-activation always negative for x in [-1, 1].
+  p[0] = 1.0f;   // l1.w
+  p[1] = -5.0f;  // l1.b
+  p[2] = 2.0f;   // l2.w
+  p[3] = 0.0f;   // l2.b
+  Tensor x(1, 1), dy(1, 1);
+  x.at(0, 0) = 0.5f;
+  dy.at(0, 0) = 1.0f;
+  nn::Mlp::Cache c;
+  Tensor y;
+  mlp.forward(ps.data(), x, y, c);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);  // ReLU clamped
+  std::vector<float> grads(ps.size(), 0.0f);
+  Tensor dx;
+  mlp.backward(ps.data(), x, c, dy, &dx, grads.data());
+  EXPECT_FLOAT_EQ(grads[0], 0.0f);  // no gradient through dead ReLU to l1.w
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grads[3], 1.0f);  // l2 bias still learns
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // min_w (w - 3)² from w = 0.
+  std::vector<float> w{0.0f};
+  nn::Adam adam(1, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const float g = 2.0f * (w[0] - 3.0f);
+    std::vector<float> grad{g};
+    adam.step(w, grad);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, ClipGlobalNorm) {
+  std::vector<float> g{3.0f, 4.0f};  // norm 5
+  const double norm = nn::clip_global_norm(g, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(g[0], 0.6f, 1e-6);
+  EXPECT_NEAR(g[1], 0.8f, 1e-6);
+  std::vector<float> small{0.1f, 0.0f};
+  nn::clip_global_norm(small, 1.0);
+  EXPECT_FLOAT_EQ(small[0], 0.1f);  // below the cap: untouched
+}
+
+TEST(Scheduler, ReducesAfterPatienceExhausted) {
+  nn::Adam adam(1, 1e-2);
+  nn::ReduceLrOnPlateau sched(0.1, 2, 1e-4, 1e-8);
+  EXPECT_FALSE(sched.observe(1.0, adam));   // establishes best
+  EXPECT_FALSE(sched.observe(0.5, adam));   // improvement
+  EXPECT_FALSE(sched.observe(0.51, adam));  // bad 1
+  EXPECT_FALSE(sched.observe(0.52, adam));  // bad 2
+  EXPECT_TRUE(sched.observe(0.53, adam));   // bad 3 > patience -> reduce
+  EXPECT_NEAR(adam.learning_rate(), 1e-3, 1e-12);
+}
+
+TEST(Xavier, InitializationWithinBound) {
+  nn::ParameterStore ps;
+  nn::Linear lin(ps, 30, 20);
+  ps.finalize();
+  Rng rng(9);
+  lin.init_xavier(ps.values(), rng);
+  const double bound = std::sqrt(6.0 / 50.0);
+  double mean = 0.0;
+  const auto vals = ps.values();
+  for (std::size_t i = 0; i < 600; ++i) {  // weight block
+    EXPECT_LE(std::abs(vals[i]), bound);
+    mean += vals[i];
+  }
+  EXPECT_LT(std::abs(mean / 600.0), 0.05);
+  for (std::size_t i = 600; i < ps.size(); ++i) {
+    EXPECT_FLOAT_EQ(vals[i], 0.0f);  // biases zero
+  }
+}
+
+}  // namespace

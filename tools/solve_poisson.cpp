@@ -1,0 +1,125 @@
+// Legacy-style solver driver (the repository's analogue of an HTSSolver
+// command-line run): generate a Poisson problem, pick a preconditioner and
+// Krylov method from flags, solve, and print a machine-parsable report line.
+//
+//   solve_poisson --nodes 40000 --precond ddm-gnn --sub-nodes 350
+//                 --overlap 2 --tol 1e-6 --krylov fpcg --model artifacts/...
+//
+// Preconditioners: none | jacobi | ic0 | ddm-lu | ddm-lu-1 | ddm-gnn |
+//                  ddm-gnn-1.  Krylov: cg | pcg | fpcg | bicgstab | gmres |
+//                  richardson (the stationary Eq. 8 iteration).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/hybrid_solver.hpp"
+#include "core/model_zoo.hpp"
+#include "fem/poisson.hpp"
+#include "gnn/model_io.hpp"
+#include "mesh/generator.hpp"
+#include "precond/asm_precond.hpp"
+#include "precond/ic0_precond.hpp"
+#include "solver/stationary.hpp"
+
+namespace {
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double arg_num(int argc, char** argv, const char* name, double fallback) {
+  const char* s = arg_str(argc, argv, name, nullptr);
+  return s ? std::atof(s) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddmgnn;
+  const auto nodes = static_cast<la::Index>(arg_num(argc, argv, "--nodes", 10000));
+  const std::string precond = arg_str(argc, argv, "--precond", "ddm-lu");
+  const std::string krylov = arg_str(argc, argv, "--krylov", "");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(arg_num(argc, argv, "--seed", 1));
+
+  const mesh::Mesh m =
+      mesh::generate_mesh_target_nodes(mesh::random_domain(seed), nodes, seed);
+  const auto q = fem::sample_quadratic_data(seed);
+  const auto prob = fem::assemble_poisson(
+      m, [&](const mesh::Point2& p) { return q.f(p); },
+      [&](const mesh::Point2& p) { return q.g(p); });
+
+  core::HybridConfig cfg;
+  cfg.subdomain_target_nodes =
+      static_cast<la::Index>(arg_num(argc, argv, "--sub-nodes", 350));
+  cfg.overlap = static_cast<int>(arg_num(argc, argv, "--overlap", 2));
+  cfg.rel_tol = arg_num(argc, argv, "--tol", 1e-6);
+  cfg.max_iterations = static_cast<int>(arg_num(argc, argv, "--max-iters", 5000));
+  cfg.gnn_refinement_steps =
+      static_cast<int>(arg_num(argc, argv, "--refine", 0));
+
+  if (precond == "none") cfg.preconditioner = core::PrecondKind::kNone;
+  else if (precond == "jacobi") cfg.preconditioner = core::PrecondKind::kJacobi;
+  else if (precond == "ic0") cfg.preconditioner = core::PrecondKind::kIc0;
+  else if (precond == "ddm-lu") cfg.preconditioner = core::PrecondKind::kDdmLu;
+  else if (precond == "ddm-lu-1") cfg.preconditioner = core::PrecondKind::kDdmLu1;
+  else if (precond == "ddm-gnn") cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  else if (precond == "ddm-gnn-1") cfg.preconditioner = core::PrecondKind::kDdmGnn1;
+  else {
+    std::fprintf(stderr, "unknown --precond %s\n", precond.c_str());
+    return 2;
+  }
+
+  std::optional<gnn::DssModel> model;
+  const bool is_gnn = cfg.preconditioner == core::PrecondKind::kDdmGnn ||
+                      cfg.preconditioner == core::PrecondKind::kDdmGnn1;
+  if (is_gnn) {
+    const char* path = arg_str(argc, argv, "--model", nullptr);
+    if (path != nullptr) {
+      model = gnn::load_model(path);
+      if (!model) {
+        std::fprintf(stderr, "cannot load model %s\n", path);
+        return 2;
+      }
+    } else {
+      model = core::get_or_train_model(core::default_spec(10, 10));
+    }
+    cfg.model = &*model;
+    cfg.flexible = true;
+  }
+
+  if (krylov == "richardson") {
+    // Stationary Schwarz iteration (paper Eq. 8) through the same setup.
+    const auto dec = partition::decompose_target_size(
+        m.adj_ptr(), m.adj(), cfg.subdomain_target_nodes, cfg.overlap, seed);
+    precond::AdditiveSchwarz ddm(
+        prob.A, dec, std::make_unique<precond::CholeskySubdomainSolver>());
+    std::vector<double> x(prob.b.size(), 0.0);
+    solver::SolveOptions opts;
+    opts.rel_tol = cfg.rel_tol;
+    opts.max_iterations = cfg.max_iterations;
+    const auto res = solver::stationary_iteration(prob.A, ddm, prob.b, x, opts);
+    std::printf("method=richardson+asm N=%d K=%d iters=%d rel_res=%.3e "
+                "T=%.4f converged=%d\n",
+                m.num_nodes(), dec.num_parts, res.iterations,
+                res.final_relative_residual, res.total_seconds,
+                res.converged ? 1 : 0);
+    return res.converged ? 0 : 1;
+  }
+  if (krylov == "fpcg") cfg.flexible = true;
+  if (krylov == "pcg") cfg.flexible = false;
+
+  const auto rep = core::solve_poisson(m, prob, cfg);
+  std::printf("method=%s precond=%s N=%d K=%d iters=%d rel_res=%.3e T=%.4f "
+              "T_precond=%.4f setup=%.4f converged=%d\n",
+              rep.result.method.c_str(), precond.c_str(), m.num_nodes(),
+              rep.num_subdomains, rep.result.iterations,
+              rep.result.final_relative_residual, rep.result.total_seconds,
+              rep.result.precond_seconds, rep.setup_seconds,
+              rep.result.converged ? 1 : 0);
+  return rep.result.converged ? 0 : 1;
+}
