@@ -11,15 +11,15 @@
 
 #include "bench_common.hpp"
 #include "core/dataset.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "gnn/trainer.hpp"
 
 namespace {
 
 using namespace ddmgnn;
 
-void report(const char* label, const core::HybridReport& rep) {
+void report(const char* label, const bench::RunReport& rep) {
   std::printf("  %-34s iters=%-6d final=%.2e  T=%.3fs %s\n", label,
               rep.result.iterations, rep.result.final_relative_residual,
               rep.result.total_seconds,
@@ -44,25 +44,24 @@ int main() {
   std::printf("problem: N=%d\n\n", m.num_nodes());
 
   core::HybridConfig cfg;
-  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  cfg.preconditioner = "ddm-gnn";  // non-symmetric: defaults to flexible PCG
   cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
   cfg.rel_tol = 1e-6;
   cfg.max_iterations = 2500;
   cfg.model = &model;
-  cfg.flexible = true;
   cfg.track_history = false;
 
   std::printf("A. residual normalization (paper's anti-stagnation fix):\n");
-  report("normalized (paper)", core::solve_poisson(m, prob, cfg));
+  report("normalized (paper)", bench::run_session(m, prob, cfg));
   cfg.gnn_normalize = false;
-  report("un-normalized", core::solve_poisson(m, prob, cfg));
+  report("un-normalized", bench::run_session(m, prob, cfg));
   cfg.gnn_normalize = true;
 
   std::printf("B. coarse-space level:\n");
-  report("two-level (paper)", core::solve_poisson(m, prob, cfg));
-  cfg.preconditioner = core::PrecondKind::kDdmGnn1;
-  report("one-level", core::solve_poisson(m, prob, cfg));
-  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  report("two-level (paper)", bench::run_session(m, prob, cfg));
+  cfg.preconditioner = "ddm-gnn-1level";
+  report("one-level", bench::run_session(m, prob, cfg));
+  cfg.preconditioner = "ddm-gnn";
 
   std::printf("C. Dirichlet-flag input channel (our deviation):\n");
   {
@@ -80,9 +79,10 @@ int main() {
     const gnn::DssModel m_noflag = core::get_or_train_model(no_flag, &data);
     const gnn::DssModel m_flag = core::get_or_train_model(with_flag, &data);
     cfg.model = &m_flag;
-    report("with flag (equal budget)", core::solve_poisson(m, prob, cfg));
+    report("with flag (equal budget)", bench::run_session(m, prob, cfg));
     cfg.model = &m_noflag;
-    report("without flag (strict paper arch)", core::solve_poisson(m, prob, cfg));
+    report("without flag (strict paper arch)",
+           bench::run_session(m, prob, cfg));
     cfg.model = &model;
   }
 
@@ -92,19 +92,19 @@ int main() {
     char label[64];
     std::snprintf(label, sizeof(label), "refinement=%d%s", steps,
                   steps == 0 ? " (paper protocol)" : "");
-    report(label, core::solve_poisson(m, prob, cfg));
+    report(label, bench::run_session(m, prob, cfg));
   }
   cfg.gnn_refinement_steps = 0;
 
   std::printf("E. Krylov variant for the non-symmetric GNN preconditioner:\n");
-  cfg.flexible = false;
-  report("plain PCG (Algorithm 1)", core::solve_poisson(m, prob, cfg));
-  cfg.flexible = true;
-  report("flexible PCG (Polak-Ribiere)", core::solve_poisson(m, prob, cfg));
+  cfg.method = solver::KrylovMethod::kPcg;
+  report("plain PCG (Algorithm 1)", bench::run_session(m, prob, cfg));
+  cfg.method = solver::KrylovMethod::kFpcg;
+  report("flexible PCG (Polak-Ribiere)", bench::run_session(m, prob, cfg));
+  cfg.method.reset();
 
   std::printf("\nreference: DDM-LU on the same problem:\n");
-  cfg.preconditioner = core::PrecondKind::kDdmLu;
-  cfg.flexible = false;
-  report("ddm-lu", core::solve_poisson(m, prob, cfg));
+  cfg.preconditioner = "ddm-lu";
+  report("ddm-lu", bench::run_session(m, prob, cfg));
   return 0;
 }

@@ -6,10 +6,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/options.hpp"
+#include "core/hybrid_solver.hpp"
 #include "fem/poisson.hpp"
 #include "mesh/generator.hpp"
 
@@ -60,6 +63,68 @@ inline Problem make_problem(la::Index target_nodes, std::uint64_t seed) {
       m, [&](const mesh::Point2& p) { return q.f(p); },
       [&](const mesh::Point2& p) { return q.g(p); });
   return {std::move(m), std::move(prob)};
+}
+
+/// One-shot setup+solve for benches that genuinely solve each system once —
+/// exactly what the deprecated facade is for, so delegate to it (suppressing
+/// the deprecation warning at this one sanctioned call site). Benches that
+/// serve repeated right-hand sides (bench_setup_amortization) hold a
+/// SolverSession themselves instead.
+using RunReport = core::HybridReport;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+inline RunReport run_session(const mesh::Mesh& m,
+                             const fem::PoissonProblem& prob,
+                             const core::HybridConfig& cfg) {
+  return core::solve_poisson(m, prob, cfg);
+}
+#pragma GCC diagnostic pop
+
+/// Minimal JSON emission for bench artifacts: a flat object per record,
+/// records written as a JSON array. Values are numbers, booleans or strings.
+class JsonRecord {
+ public:
+  JsonRecord& add(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return raw(key, buf);
+  }
+  JsonRecord& add(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonRecord& add(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonRecord& add(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    return raw(key, quoted + "\"");
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRecord& raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Write records as a JSON array to `path` (usually under artifact_dir()).
+inline void write_json(const std::string& path,
+                       const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << "  " << records[i].str() << (i + 1 < records.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
 }
 
 /// Number of repeated problems per configuration (paper: 100).

@@ -12,8 +12,8 @@
 #include <fstream>
 
 #include "bench_common.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -56,15 +56,13 @@ int main() {
 
   struct Run {
     const char* label;
-    core::PrecondKind kind;
-    bool flexible;
+    const char* precond;
   };
-  for (const Run run : {Run{"PCG-DDM-GNN", core::PrecondKind::kDdmGnn, true},
-                        Run{"PCG-DDM-LU", core::PrecondKind::kDdmLu, false},
-                        Run{"CG", core::PrecondKind::kNone, false}}) {
-    cfg.preconditioner = run.kind;
-    cfg.flexible = run.flexible;
-    const auto rep = core::solve_poisson(m, prob, cfg);
+  for (const Run run : {Run{"PCG-DDM-GNN", "ddm-gnn"},
+                        Run{"PCG-DDM-LU", "ddm-lu"},
+                        Run{"CG", "none"}}) {
+    cfg.preconditioner = run.precond;
+    const auto rep = bench::run_session(m, prob, cfg);
     std::printf("\n%-12s K=%-4d iters=%-6d final=%.2e  T=%.2fs (precond %.2fs)"
                 "  %s\n",
                 run.label, rep.num_subdomains, rep.result.iterations,

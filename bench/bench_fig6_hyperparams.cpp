@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -49,14 +49,13 @@ int main() {
     const gnn::DssModel model = core::get_or_train_model(spec, &data);
 
     core::HybridConfig cfg;
-    cfg.preconditioner = core::PrecondKind::kDdmGnn;
+    cfg.preconditioner = "ddm-gnn";
     cfg.subdomain_target_nodes = base.dataset.subdomain_target_nodes;
     cfg.rel_tol = 1e-6;
     cfg.max_iterations = 3000;
     cfg.model = &model;
-    cfg.flexible = true;
     cfg.track_history = false;
-    const auto rep = core::solve_poisson(m, prob, cfg);
+    const auto rep = bench::run_session(m, prob, cfg);
     const double per_apply =
         rep.result.precond_seconds /
         std::max(1, rep.result.iterations + 1);  // z0 + one per iteration

@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -58,21 +58,19 @@ int main() {
       cfg.model = &model;
       cfg.track_history = false;
 
-      cfg.preconditioner = core::PrecondKind::kDdmGnn;
-      cfg.flexible = true;  // non-symmetric GNN preconditioner
-      const auto rg = core::solve_poisson(m, prob, cfg);
+      cfg.preconditioner = "ddm-gnn";  // defaults to flexible PCG
+      const auto rg = bench::run_session(m, prob, cfg);
       it_gnn.push_back(rg.result.iterations);
       ks.push_back(rg.num_subdomains);
 
-      cfg.preconditioner = core::PrecondKind::kDdmLu;
-      cfg.flexible = false;
-      const auto rl = core::solve_poisson(m, prob, cfg);
+      cfg.preconditioner = "ddm-lu";
+      const auto rl = bench::run_session(m, prob, cfg);
       it_lu.push_back(rl.result.iterations);
 
       // CG only once per (N): identical across (Ns, overlap) configs.
       if (c.ns_factor == 1.0 && c.overlap == 2) {
-        cfg.preconditioner = core::PrecondKind::kNone;
-        const auto rc = core::solve_poisson(m, prob, cfg);
+        cfg.preconditioner = "none";
+        const auto rc = bench::run_session(m, prob, cfg);
         it_cg.push_back(rc.result.iterations);
       }
     }

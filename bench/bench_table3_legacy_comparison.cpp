@@ -15,8 +15,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -57,17 +57,15 @@ int main() {
       cfg.model = &model;
       cfg.track_history = false;
 
-      cfg.preconditioner = core::PrecondKind::kDdmLu;
-      const auto rl = core::solve_poisson(m, prob, cfg);
+      cfg.preconditioner = "ddm-lu";
+      const auto rl = bench::run_session(m, prob, cfg);
 
-      cfg.preconditioner = core::PrecondKind::kDdmGnn;
-      cfg.flexible = true;
-      const auto rg = core::solve_poisson(m, prob, cfg);
-      cfg.flexible = false;
+      cfg.preconditioner = "ddm-gnn";
+      const auto rg = bench::run_session(m, prob, cfg);
 
       if (first_row) {
-        cfg.preconditioner = core::PrecondKind::kIc0;
-        const auto ri = core::solve_poisson(m, prob, cfg);
+        cfg.preconditioner = "ic0";
+        const auto ri = bench::run_session(m, prob, cfg);
         std::printf("%8d %5d | %10d %11.4f | %6d %11.4f %11.4f | %6d %11.4f %11.4f\n",
                     m.num_nodes(), rl.num_subdomains, ri.result.iterations,
                     ri.result.total_seconds, rl.result.iterations,

@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -43,13 +43,10 @@ int main() {
     int iters[4];
     la::Index k = 0;
     int idx = 0;
-    for (const auto kind :
-         {core::PrecondKind::kDdmLu1, core::PrecondKind::kDdmLu,
-          core::PrecondKind::kDdmGnn1, core::PrecondKind::kDdmGnn}) {
-      cfg.preconditioner = kind;
-      cfg.flexible = (kind == core::PrecondKind::kDdmGnn ||
-                      kind == core::PrecondKind::kDdmGnn1);
-      const auto rep = core::solve_poisson(m, prob, cfg);
+    for (const char* name :
+         {"ddm-lu-1level", "ddm-lu", "ddm-gnn-1level", "ddm-gnn"}) {
+      cfg.preconditioner = name;
+      const auto rep = bench::run_session(m, prob, cfg);
       iters[idx++] = rep.result.converged ? rep.result.iterations : -1;
       k = rep.num_subdomains;
     }

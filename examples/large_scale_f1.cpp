@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "common/options.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "mesh/generator.hpp"
 
@@ -34,18 +34,20 @@ int main() {
               m.num_nodes(), dom.holes.size(), spec.dataset.mesh_target_nodes);
 
   core::HybridConfig cfg;
-  cfg.preconditioner = core::PrecondKind::kDdmGnn;
+  cfg.preconditioner = "ddm-gnn";
   cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
   cfg.rel_tol = 1e-9;  // well below the training precision
   cfg.max_iterations = 5000;
   cfg.model = &model;
-  cfg.flexible = true;
-  const auto rep = core::solve_poisson(m, prob, cfg);
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+  std::vector<double> x(prob.b.size(), 0.0);
+  const auto res = session.solve(prob.b, x);
   std::printf("PCG-DDM-GNN: K=%d, iters=%d, final rel.res=%.2e, %.2fs  %s\n",
-              rep.num_subdomains, rep.result.iterations,
-              rep.result.final_relative_residual, rep.result.total_seconds,
-              rep.result.converged ? "converged" : "NOT CONVERGED");
+              session.num_subdomains(), res.iterations,
+              res.final_relative_residual, res.total_seconds,
+              res.converged ? "converged" : "NOT CONVERGED");
   std::printf("residual check: %.2e\n",
-              fem::relative_residual(prob.A, prob.b, rep.solution));
-  return rep.result.converged ? 0 : 1;
+              fem::relative_residual(prob.A, prob.b, x));
+  return res.converged ? 0 : 1;
 }

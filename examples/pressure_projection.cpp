@@ -12,13 +12,10 @@
 
 #include "common/options.hpp"
 #include "common/timer.hpp"
-#include "core/gnn_subdomain_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "mesh/generator.hpp"
-#include "partition/decomposition.hpp"
-#include "precond/asm_precond.hpp"
-#include "solver/krylov.hpp"
 
 int main() {
   using namespace ddmgnn;
@@ -38,15 +35,21 @@ int main() {
       [](const mesh::Point2&) { return 0.0; });
   std::printf("mesh: %d nodes\n", m.num_nodes());
 
-  // Build the preconditioner ONCE (setup amortized across time steps).
-  Timer setup;
-  const auto dec = partition::decompose_target_size(
-      m.adj_ptr(), m.adj(), spec.dataset.subdomain_target_nodes, 2, seed);
-  precond::AdditiveSchwarz ddm_gnn(
-      prob.A, dec,
-      std::make_unique<core::GnnSubdomainSolver>(model, m, prob.dirichlet));
-  std::printf("setup: K=%d subdomains in %.3fs\n", dec.num_parts,
-              setup.seconds());
+  // Open the session ONCE: partition, DSS graphs and coarse space are built
+  // here and amortized across all time steps.
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-gnn";
+  cfg.subdomain_target_nodes = spec.dataset.subdomain_target_nodes;
+  cfg.overlap = 2;
+  cfg.rel_tol = 1e-6;  // fractional-step methods need tight pressures
+  cfg.max_iterations = 2000;
+  cfg.model = &model;
+  cfg.seed = seed;
+  cfg.track_history = false;
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+  std::printf("setup: K=%d subdomains in %.3fs\n", session.num_subdomains(),
+              session.setup_seconds());
 
   // Time stepping: div(u*) drives the pressure Poisson equation.
   const int num_steps = bench_scale() == BenchScale::kSmoke ? 3 : 8;
@@ -68,12 +71,7 @@ int main() {
                 0.3 * std::cos(5.0 * y - t));
     }
     std::vector<double> pressure(rhs.size(), 0.0);
-    solver::SolveOptions opts;
-    opts.rel_tol = 1e-6;  // fractional-step methods need tight pressures
-    opts.max_iterations = 2000;
-    opts.track_history = false;
-    const auto res =
-        solver::flexible_pcg(prob.A, ddm_gnn, rhs, pressure, opts);
+    const auto res = session.solve(rhs, pressure);
     total_iters += res.iterations;
     std::printf("  step %2d: iters=%-4d rel_res=%.2e  (%.3fs, precond %.3fs)\n",
                 step, res.iterations, res.final_relative_residual,

@@ -1,14 +1,19 @@
 // Quickstart: the 60-second tour of the library.
 //   1. generate a random smooth domain and mesh it            (src/mesh)
 //   2. discretize -Δu = f, u|∂Ω = g with P1 elements          (src/fem)
-//   3. solve with three preconditioners through the facade    (src/core)
+//   3. open a SolverSession per preconditioner: setup() builds the
+//      decomposition/factorizations/coarse space ONCE, then every solve()
+//      pays only iteration cost                               (src/core)
+// Preconditioners are picked by registry name ("none", "ddm-lu", "ddm-gnn",
+// ... — see precond::preconditioner_names()); the Krylov method defaults
+// from the preconditioner's symmetry (flexible PCG for the GNN).
 // DDM-GNN needs a trained model: the model zoo trains a small one on first
 // use (cached under ./artifacts), which takes a few minutes at the default
 // scale — run with DDMGNN_BENCH_SCALE=smoke for a fast first contact.
 #include <cstdio>
 
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "mesh/generator.hpp"
 
@@ -36,16 +41,19 @@ int main() {
   cfg.subdomain_target_nodes = 350;
   cfg.rel_tol = 1e-6;
   cfg.model = &model;
-  for (const auto kind : {core::PrecondKind::kNone, core::PrecondKind::kDdmLu,
-                          core::PrecondKind::kDdmGnn}) {
-    cfg.preconditioner = kind;
-    cfg.flexible = (kind == core::PrecondKind::kDdmGnn);
-    const core::HybridReport rep = core::solve_poisson(m, prob, cfg);
-    std::printf("%-8s: %4d iterations, rel.residual %.2e, %.3fs %s\n",
-                core::precond_kind_name(kind), rep.result.iterations,
-                rep.result.final_relative_residual, rep.result.total_seconds,
-                rep.result.converged ? "" : "(not converged)");
-    if (!rep.result.converged) return 1;
+  std::vector<double> x(prob.b.size());
+  for (const char* name : {"none", "ddm-lu", "ddm-gnn"}) {
+    cfg.preconditioner = name;
+    core::SolverSession session;
+    session.setup(m, prob, cfg);  // one-time cost, amortized over solves
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto res = session.solve(prob.b, x);
+    std::printf("%-8s: %4d iterations, rel.residual %.2e, setup %.3fs + "
+                "solve %.3fs (%s) %s\n",
+                name, res.iterations, res.final_relative_residual,
+                session.setup_seconds(), res.total_seconds,
+                res.method.c_str(), res.converged ? "" : "(not converged)");
+    if (!res.converged) return 1;
   }
   return 0;
 }

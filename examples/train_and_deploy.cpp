@@ -10,8 +10,8 @@
 
 #include "common/options.hpp"
 #include "core/dataset.hpp"
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "gnn/metrics.hpp"
 #include "gnn/trainer.hpp"
@@ -68,18 +68,19 @@ int main() {
   cfg.overlap = 2;
   cfg.rel_tol = 1e-6;
   cfg.model = &model;
-  for (const auto kind : {core::PrecondKind::kDdmGnn, core::PrecondKind::kDdmLu,
-                          core::PrecondKind::kNone}) {
-    cfg.preconditioner = kind;
-    cfg.flexible = (kind == core::PrecondKind::kDdmGnn);
-    const auto rep = core::solve_poisson(m, prob, cfg);
+  std::vector<double> x(prob.b.size());
+  for (const char* name : {"ddm-gnn", "ddm-lu", "none"}) {
+    cfg.preconditioner = name;
+    core::SolverSession session;
+    session.setup(m, prob, cfg);
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto res = session.solve(prob.b, x);
     std::printf("  %-9s K=%-3d iters=%-5d rel.res=%.2e  total %.3fs "
                 "(precond %.3fs, setup %.3fs)  %s\n",
-                core::precond_kind_name(kind), rep.num_subdomains,
-                rep.result.iterations, rep.result.final_relative_residual,
-                rep.result.total_seconds, rep.result.precond_seconds,
-                rep.setup_seconds,
-                rep.result.converged ? "converged" : "NOT CONVERGED");
+                name, session.num_subdomains(), res.iterations,
+                res.final_relative_residual, res.total_seconds,
+                res.precond_seconds, session.setup_seconds(),
+                res.converged ? "converged" : "NOT CONVERGED");
   }
   return 0;
 }

@@ -1,98 +1,17 @@
 #include "core/hybrid_solver.hpp"
 
-#include <memory>
-
-#include "common/error.hpp"
-#include "common/timer.hpp"
-#include "core/gnn_subdomain_solver.hpp"
-#include "partition/decomposition.hpp"
-#include "precond/asm_precond.hpp"
-#include "precond/ic0_precond.hpp"
-#include "precond/preconditioner.hpp"
-
 namespace ddmgnn::core {
-
-const char* precond_kind_name(PrecondKind kind) {
-  switch (kind) {
-    case PrecondKind::kNone: return "none";
-    case PrecondKind::kJacobi: return "jacobi";
-    case PrecondKind::kIc0: return "ic0";
-    case PrecondKind::kDdmLu: return "ddm-lu";
-    case PrecondKind::kDdmGnn: return "ddm-gnn";
-    case PrecondKind::kDdmLu1: return "ddm-lu-1level";
-    case PrecondKind::kDdmGnn1: return "ddm-gnn-1level";
-  }
-  return "?";
-}
 
 HybridReport solve_poisson(const mesh::Mesh& m,
                            const fem::PoissonProblem& prob,
                            const HybridConfig& cfg) {
+  SolverSession session;
+  session.setup(m, prob, cfg);
   HybridReport report;
-  Timer setup_timer;
-
-  const bool is_ddm = cfg.preconditioner == PrecondKind::kDdmLu ||
-                      cfg.preconditioner == PrecondKind::kDdmGnn ||
-                      cfg.preconditioner == PrecondKind::kDdmLu1 ||
-                      cfg.preconditioner == PrecondKind::kDdmGnn1;
-  const bool is_gnn = cfg.preconditioner == PrecondKind::kDdmGnn ||
-                      cfg.preconditioner == PrecondKind::kDdmGnn1;
-  const bool two_level = cfg.preconditioner == PrecondKind::kDdmLu ||
-                         cfg.preconditioner == PrecondKind::kDdmGnn;
-
-  std::optional<partition::Decomposition> dec;
-  std::unique_ptr<precond::Preconditioner> m_inv;
-  switch (cfg.preconditioner) {
-    case PrecondKind::kNone:
-      m_inv = std::make_unique<precond::IdentityPreconditioner>();
-      break;
-    case PrecondKind::kJacobi:
-      m_inv = std::make_unique<precond::JacobiPreconditioner>(
-          prob.A.diagonal());
-      break;
-    case PrecondKind::kIc0:
-      m_inv = std::make_unique<precond::Ic0Preconditioner>(prob.A);
-      break;
-    default: {
-      DDMGNN_CHECK(!is_gnn || cfg.model != nullptr,
-                   "solve_poisson: DDM-GNN requires a trained model");
-      dec = partition::decompose_target_size(m.adj_ptr(), m.adj(),
-                                             cfg.subdomain_target_nodes,
-                                             cfg.overlap, cfg.seed);
-      report.num_subdomains = dec->num_parts;
-      std::unique_ptr<precond::SubdomainSolver> local;
-      if (is_gnn) {
-        GnnSubdomainSolver::Options gnn_opts;
-        gnn_opts.refinement_steps = cfg.gnn_refinement_steps;
-        gnn_opts.normalize_input = cfg.gnn_normalize;
-        local = std::make_unique<GnnSubdomainSolver>(*cfg.model, m,
-                                                     prob.dirichlet, gnn_opts);
-      } else {
-        local = std::make_unique<precond::CholeskySubdomainSolver>();
-      }
-      m_inv = std::make_unique<precond::AdditiveSchwarz>(
-          prob.A, *dec, std::move(local),
-          precond::AdditiveSchwarz::Config{two_level});
-      break;
-    }
-  }
-  (void)is_ddm;
-  report.setup_seconds = setup_timer.seconds();
-
-  solver::SolveOptions opts;
-  opts.rel_tol = cfg.rel_tol;
-  opts.max_iterations = cfg.max_iterations;
-  opts.track_history = cfg.track_history;
+  report.num_subdomains = session.num_subdomains();
+  report.setup_seconds = session.setup_seconds();
   report.solution.assign(prob.b.size(), 0.0);
-  if (cfg.preconditioner == PrecondKind::kNone) {
-    report.result =
-        solver::conjugate_gradient(prob.A, prob.b, report.solution, opts);
-  } else if (cfg.flexible) {
-    report.result =
-        solver::flexible_pcg(prob.A, *m_inv, prob.b, report.solution, opts);
-  } else {
-    report.result = solver::pcg(prob.A, *m_inv, prob.b, report.solution, opts);
-  }
+  report.result = session.solve(prob.b, report.solution);
   return report;
 }
 

@@ -1,48 +1,16 @@
-// Hybrid-solver facade: one call goes from (mesh, FEM problem) to a solved
-// system with any of the paper's preconditioners — the pipeline of Fig. 1.
-// This is the public entry point examples and benches use.
+// Legacy one-shot facade over the setup/solve session API.
+//
+// `solve_poisson` fuses setup and one solve — it was the repository's only
+// public entry point before SolverSession (core/solver_session.hpp) existed.
+// It remains for callers that genuinely solve a system exactly once, but it
+// rebuilds the decomposition, factorizations and coarse space on every call:
+// anything serving repeated right-hand sides should hold a SolverSession and
+// amortize that setup instead.
 #pragma once
 
-#include <optional>
-#include <string>
-
-#include "fem/poisson.hpp"
-#include "gnn/dss_model.hpp"
-#include "mesh/mesh.hpp"
-#include "solver/krylov.hpp"
+#include "core/solver_session.hpp"
 
 namespace ddmgnn::core {
-
-enum class PrecondKind {
-  kNone,      // plain CG
-  kJacobi,
-  kIc0,       // Table III baseline
-  kDdmLu,     // two-level ASM, exact local solves
-  kDdmGnn,    // two-level ASM, DSS local solves (the paper's contribution)
-  kDdmLu1,    // one-level variants (ablation)
-  kDdmGnn1,
-};
-
-const char* precond_kind_name(PrecondKind kind);
-
-struct HybridConfig {
-  PrecondKind preconditioner = PrecondKind::kDdmGnn;
-  la::Index subdomain_target_nodes = 1000;  // paper's Ns
-  int overlap = 2;
-  double rel_tol = 1e-6;
-  int max_iterations = 2000;
-  /// Use flexible PCG (safe for the non-symmetric GNN preconditioner). When
-  /// false, plain PCG — Algorithm 1 exactly as in the paper.
-  bool flexible = false;
-  /// Required for the GNN preconditioners.
-  const gnn::DssModel* model = nullptr;
-  /// Extra DSS refinement passes per local solve (see GnnSubdomainSolver).
-  int gnn_refinement_steps = 0;
-  /// §III-A residual normalization (ablation switch).
-  bool gnn_normalize = true;
-  std::uint64_t seed = 0;
-  bool track_history = true;
-};
 
 struct HybridReport {
   solver::SolveResult result;
@@ -52,6 +20,10 @@ struct HybridReport {
 };
 
 /// Solve prob.A x = prob.b on mesh `m` with the configured preconditioner.
+/// Thin wrapper: SolverSession::setup + one SolverSession::solve.
+[[deprecated(
+    "one-shot facade rebuilds all setup state per call; use SolverSession "
+    "(setup once, solve per right-hand side)")]]
 HybridReport solve_poisson(const mesh::Mesh& m, const fem::PoissonProblem& prob,
                            const HybridConfig& cfg);
 

@@ -1,0 +1,87 @@
+#include "core/solver_session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "precond/registry.hpp"
+
+namespace ddmgnn::core {
+
+void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
+                          const HybridConfig& cfg) {
+  // Reset first so ANY setup failure — including an unknown name below —
+  // leaves the session not-ready rather than keyed to a stale problem.
+  m_inv_.reset();
+  dec_.reset();
+  a_ = nullptr;
+  num_subdomains_ = 0;
+  setup_seconds_ = 0.0;
+  cfg_ = cfg;
+
+  // Resolves aliases and throws (listing the registered names) on unknowns.
+  const std::string& canonical =
+      precond::PrecondRegistry::instance().canonical(cfg.preconditioner);
+  const precond::PrecondTraits traits = precond::preconditioner_traits(canonical);
+
+  Timer setup_timer;
+  if (traits.needs_decomposition) {
+    dec_ = std::make_unique<partition::Decomposition>(
+        partition::decompose_target_size(m.adj_ptr(), m.adj(),
+                                         cfg.subdomain_target_nodes,
+                                         cfg.overlap, cfg.seed));
+    num_subdomains_ = dec_->num_parts;
+  }
+  precond::PrecondContext ctx;
+  ctx.A = &prob.A;
+  ctx.dec = dec_.get();
+  ctx.mesh = &m;
+  ctx.dirichlet = prob.dirichlet;
+  ctx.model = cfg.model;
+  ctx.gnn_refinement_steps = cfg.gnn_refinement_steps;
+  ctx.gnn_normalize = cfg.gnn_normalize;
+  m_inv_ = precond::make_preconditioner(canonical, ctx);
+  a_ = &prob.A;
+  setup_seconds_ = setup_timer.seconds();
+
+  if (cfg.method.has_value()) {
+    method_ = *cfg.method;
+  } else if (canonical == "none") {
+    method_ = solver::KrylovMethod::kCg;
+  } else {
+    method_ = m_inv_->is_symmetric() ? solver::KrylovMethod::kPcg
+                                     : solver::KrylovMethod::kFpcg;
+  }
+}
+
+solver::SolveResult SolverSession::solve(std::span<const double> b,
+                                         std::span<double> x) const {
+  DDMGNN_CHECK(ready(), "SolverSession::solve before setup()");
+  solver::SolveOptions opts;
+  opts.rel_tol = cfg_.rel_tol;
+  opts.max_iterations = cfg_.max_iterations;
+  opts.track_history = cfg_.track_history;
+  opts.gmres_restart = cfg_.gmres_restart;
+  return solver::run_krylov(method_, *a_, *m_inv_, b, x, opts);
+}
+
+std::vector<solver::SolveResult> SolverSession::solve_many(
+    std::span<const std::vector<double>> rhs,
+    std::vector<std::vector<double>>& xs) const {
+  DDMGNN_CHECK(ready(), "SolverSession::solve_many before setup()");
+  xs.resize(rhs.size());
+  std::vector<solver::SolveResult> results;
+  results.reserve(rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    xs[i].assign(rhs[i].size(), 0.0);
+    results.push_back(solve(rhs[i], xs[i]));
+  }
+  return results;
+}
+
+const precond::Preconditioner& SolverSession::preconditioner() const {
+  DDMGNN_CHECK(ready(), "SolverSession::preconditioner before setup()");
+  return *m_inv_;
+}
+
+}  // namespace ddmgnn::core

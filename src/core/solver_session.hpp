@@ -1,0 +1,124 @@
+// Setup/solve session API — the reusable form of the hybrid solver.
+//
+// The paper's headline economics are that DDM-GNN setup (partitioning,
+// subdomain graph construction, local factorizations, coarse-space assembly)
+// is amortized across solves: production callers (time-stepping, pressure
+// projection) solve the same operator against many right-hand sides. A
+// SolverSession builds all of that state exactly once in setup() and then
+// serves any number of solve()/solve_many() calls that pay only iteration
+// cost:
+//
+//   core::SolverSession session;
+//   session.setup(mesh, prob, cfg);            // partition + factor + graphs
+//   session.solve(prob.b, x);                  // Krylov iterations only
+//   session.solve(next_rhs, x);                // reuses ALL setup state
+//
+// The preconditioner is chosen by name through the string-keyed registry
+// (src/precond/registry.hpp) and the Krylov method by the KrylovMethod
+// selector, so both are configuration data rather than call-site code. The
+// old one-shot `solve_poisson` facade survives as a thin deprecated wrapper
+// in core/hybrid_solver.hpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fem/poisson.hpp"
+#include "gnn/dss_model.hpp"
+#include "mesh/mesh.hpp"
+#include "partition/decomposition.hpp"
+#include "precond/preconditioner.hpp"
+#include "solver/krylov.hpp"
+
+namespace ddmgnn::core {
+
+/// Configuration of one session: preconditioner by registry name, Krylov
+/// method by selector, plus decomposition and GNN knobs.
+struct HybridConfig {
+  /// Registry name: "none", "jacobi", "ic0", "ddm-lu", "ddm-gnn",
+  /// "ddm-lu-1level", "ddm-gnn-1level" (see precond::preconditioner_names()).
+  std::string preconditioner = "ddm-gnn";
+  /// Krylov method. When unset, picked from the preconditioner's traits:
+  /// "none" runs plain CG, symmetric preconditioners run PCG (Algorithm 1),
+  /// non-symmetric ones (the GNN variants) run flexible PCG.
+  std::optional<solver::KrylovMethod> method;
+  la::Index subdomain_target_nodes = 1000;  // paper's Ns
+  int overlap = 2;
+  double rel_tol = 1e-6;
+  int max_iterations = 2000;
+  int gmres_restart = 50;
+  /// Required for the GNN preconditioners.
+  const gnn::DssModel* model = nullptr;
+  /// Extra DSS refinement passes per local solve (see GnnSubdomainSolver).
+  int gnn_refinement_steps = 0;
+  /// §III-A residual normalization (ablation switch).
+  bool gnn_normalize = true;
+  std::uint64_t seed = 0;
+  bool track_history = true;
+};
+
+/// A prepared solver for one operator. setup() may be called again to re-key
+/// the session to a new problem; solve() requires a prior setup().
+///
+/// Lifetimes: the session keeps references to `prob.A` and, for the GNN
+/// preconditioners, to `cfg.model` — both must outlive the session's solves.
+/// Mesh geometry and Dirichlet flags are copied where needed during setup.
+class SolverSession {
+ public:
+  SolverSession() = default;
+  // Movable, not copyable: the preconditioner points into session-owned
+  // decomposition state (held behind stable unique_ptrs).
+  SolverSession(SolverSession&&) = default;
+  SolverSession& operator=(SolverSession&&) = default;
+  SolverSession(const SolverSession&) = delete;
+  SolverSession& operator=(const SolverSession&) = delete;
+
+  /// Build decomposition, local factorizations/DSS graphs and coarse space
+  /// for `prob.A` once. Throws ContractError for unknown preconditioner
+  /// names or missing requirements (e.g. a GNN preconditioner without a
+  /// model).
+  void setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
+             const HybridConfig& cfg);
+
+  /// Solve A x = b with the prepared preconditioner. `x` is the initial
+  /// guess on entry (callers typically zero it) and the solution on exit.
+  /// Only iteration cost — no setup work happens here.
+  solver::SolveResult solve(std::span<const double> b,
+                            std::span<double> x) const;
+
+  /// Solve the same operator against each right-hand side in `rhs`;
+  /// `xs` is resized to match, every solve starting from a zero guess.
+  std::vector<solver::SolveResult> solve_many(
+      std::span<const std::vector<double>> rhs,
+      std::vector<std::vector<double>>& xs) const;
+
+  bool ready() const { return m_inv_ != nullptr; }
+  /// Wall-clock seconds the last setup() took (partition + factorizations +
+  /// graphs + coarse space). Not touched by solve().
+  double setup_seconds() const { return setup_seconds_; }
+  /// K — 0 when the preconditioner involves no decomposition.
+  la::Index num_subdomains() const { return num_subdomains_; }
+  /// Resolved Krylov method (after trait-based defaulting).
+  solver::KrylovMethod method() const { return method_; }
+  /// Switch the Krylov method for subsequent solves — no re-setup needed;
+  /// the preconditioner state is method-agnostic.
+  void set_method(solver::KrylovMethod method) { method_ = method; }
+  const precond::Preconditioner& preconditioner() const;
+  const HybridConfig& config() const { return cfg_; }
+
+ private:
+  HybridConfig cfg_;
+  solver::KrylovMethod method_ = solver::KrylovMethod::kPcg;
+  const la::CsrMatrix* a_ = nullptr;
+  // unique_ptr for address stability: the Schwarz preconditioner keeps a
+  // pointer to the decomposition, and the session stays movable.
+  std::unique_ptr<partition::Decomposition> dec_;
+  std::unique_ptr<precond::Preconditioner> m_inv_;
+  double setup_seconds_ = 0.0;
+  la::Index num_subdomains_ = 0;
+};
+
+}  // namespace ddmgnn::core

@@ -23,14 +23,41 @@ void check_dims(const CsrMatrix& a, std::span<const double> b,
                "krylov: dimension mismatch");
 }
 
+/// "<method>+<preconditioner>" — the one format every SolveResult::method
+/// string follows (plain CG has no preconditioner and stays bare "cg").
+std::string method_label(KrylovMethod method,
+                         const precond::Preconditioner& m) {
+  return std::string(krylov_method_name(method)) + "+" + m.name();
+}
+
 }  // namespace
+
+const char* krylov_method_name(KrylovMethod method) {
+  switch (method) {
+    case KrylovMethod::kCg: return "cg";
+    case KrylovMethod::kPcg: return "pcg";
+    case KrylovMethod::kFpcg: return "fpcg";
+    case KrylovMethod::kBicgstab: return "bicgstab";
+    case KrylovMethod::kGmres: return "gmres";
+  }
+  return "?";
+}
+
+std::optional<KrylovMethod> krylov_method_from_name(std::string_view name) {
+  for (const KrylovMethod m :
+       {KrylovMethod::kCg, KrylovMethod::kPcg, KrylovMethod::kFpcg,
+        KrylovMethod::kBicgstab, KrylovMethod::kGmres}) {
+    if (name == krylov_method_name(m)) return m;
+  }
+  return std::nullopt;
+}
 
 SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
                                std::span<double> x, const SolveOptions& opts) {
   check_dims(a, b, x);
   Timer timer;
   SolveResult res;
-  res.method = "cg";
+  res.method = krylov_method_name(KrylovMethod::kCg);
   const std::size_t n = b.size();
   std::vector<double> r(n), p(n), q(n);
   a.multiply(x, r);
@@ -69,7 +96,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   Timer timer;
   Accumulator precond_time;
   SolveResult res;
-  res.method = "pcg+" + m.name();
+  res.method = method_label(KrylovMethod::kPcg, m);
   const std::size_t n = b.size();
   std::vector<double> r(n), z(n), p(n), q(n);
   // r0 = b - A x0, z0 = M⁻¹ r0, p0 = z0   (Algorithm 1)
@@ -119,7 +146,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   Timer timer;
   Accumulator precond_time;
   SolveResult res;
-  res.method = "fpcg+" + m.name();
+  res.method = method_label(KrylovMethod::kFpcg, m);
   const std::size_t n = b.size();
   std::vector<double> r(n), z(n), z_prev(n), dz(n), p(n), q(n);
   a.multiply(x, r);
@@ -184,7 +211,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
   Timer timer;
   Accumulator precond_time;
   SolveResult res;
-  res.method = "bicgstab+" + m.name();
+  res.method = method_label(KrylovMethod::kBicgstab, m);
   const std::size_t n = b.size();
   std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
   a.multiply(x, r);
@@ -247,13 +274,14 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
 
 SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
                   std::span<const double> b, std::span<double> x,
-                  const SolveOptions& opts, int restart) {
+                  const SolveOptions& opts) {
   check_dims(a, b, x);
+  const int restart = opts.gmres_restart;
   DDMGNN_CHECK(restart >= 1, "gmres: restart must be >= 1");
   Timer timer;
   Accumulator precond_time;
   SolveResult res;
-  res.method = "gmres+" + m.name();
+  res.method = method_label(KrylovMethod::kGmres, m);
   const std::size_t n = b.size();
   const double nb = norm2(b);
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
@@ -338,6 +366,21 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
   return res;
+}
+
+SolveResult run_krylov(KrylovMethod method, const CsrMatrix& a,
+                       const precond::Preconditioner& m,
+                       std::span<const double> b, std::span<double> x,
+                       const SolveOptions& opts) {
+  switch (method) {
+    case KrylovMethod::kCg: return conjugate_gradient(a, b, x, opts);
+    case KrylovMethod::kPcg: return pcg(a, m, b, x, opts);
+    case KrylovMethod::kFpcg: return flexible_pcg(a, m, b, x, opts);
+    case KrylovMethod::kBicgstab: return bicgstab(a, m, b, x, opts);
+    case KrylovMethod::kGmres: return gmres(a, m, b, x, opts);
+  }
+  DDMGNN_CHECK(false, "run_krylov: unknown method");
+  std::abort();  // unreachable
 }
 
 }  // namespace ddmgnn::solver

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "la/csr.hpp"
@@ -18,11 +20,30 @@ namespace ddmgnn::solver {
 
 using la::CsrMatrix;
 
+/// The Krylov methods this module implements, as data: configs carry one of
+/// these instead of call sites hard-coding which solver function to invoke.
+enum class KrylovMethod {
+  kCg,        // unpreconditioned conjugate gradient
+  kPcg,       // Algorithm 1 (Fletcher–Reeves)
+  kFpcg,      // flexible PCG (Polak–Ribière) — safe for nonlinear M⁻¹
+  kBicgstab,  // right-preconditioned BiCGStab
+  kGmres,     // restarted GMRES, right preconditioning
+};
+
+/// Canonical lowercase name: "cg", "pcg", "fpcg", "bicgstab", "gmres".
+/// SolveResult::method strings are prefixed with exactly these.
+const char* krylov_method_name(KrylovMethod method);
+
+/// Inverse of krylov_method_name; nullopt for unknown strings.
+std::optional<KrylovMethod> krylov_method_from_name(std::string_view name);
+
 struct SolveOptions {
   int max_iterations = 10000;
   /// Convergence: ||r_k|| <= rel_tol * ||b||.
   double rel_tol = 1e-6;
   bool track_history = true;
+  /// Restart length when the method is KrylovMethod::kGmres.
+  int gmres_restart = 50;
 };
 
 struct SolveResult {
@@ -58,9 +79,17 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
                      std::span<const double> b, std::span<double> x,
                      const SolveOptions& opts = {});
 
-/// Restarted GMRES(m) with right preconditioning.
+/// Restarted GMRES(m) with right preconditioning; the restart length is
+/// opts.gmres_restart.
 SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
                   std::span<const double> b, std::span<double> x,
-                  const SolveOptions& opts = {}, int restart = 50);
+                  const SolveOptions& opts = {});
+
+/// Dispatch on `method` (kCg ignores `m`).
+/// This is the single entry point SolverSession and the tools route through.
+SolveResult run_krylov(KrylovMethod method, const CsrMatrix& a,
+                       const precond::Preconditioner& m,
+                       std::span<const double> b, std::span<double> x,
+                       const SolveOptions& opts = {});
 
 }  // namespace ddmgnn::solver

@@ -1,0 +1,273 @@
+// Tests of the setup/solve session API and the string-keyed preconditioner
+// registry: registry round-trips (every registered name constructs and the
+// instance reports the same name), the unknown-name error path, alias
+// resolution, Krylov-method selector round-trips, setup-once/solve-many
+// state reuse, and the deprecated solve_poisson facade as a wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/hybrid_solver.hpp"
+#include "core/solver_session.hpp"
+#include "fem/poisson.hpp"
+#include "gnn/dss_model.hpp"
+#include "la/vector_ops.hpp"
+#include "mesh/generator.hpp"
+#include "partition/decomposition.hpp"
+#include "precond/registry.hpp"
+#include "solver/krylov.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using la::Index;
+using mesh::Point2;
+
+struct SmallProblem {
+  mesh::Mesh m;
+  fem::PoissonProblem prob;
+};
+
+SmallProblem small_problem(std::uint64_t seed = 42, Index nodes = 900) {
+  mesh::Mesh m =
+      mesh::generate_mesh_target_nodes(mesh::random_domain(seed), nodes, seed);
+  const auto q = fem::sample_quadratic_data(seed);
+  auto prob = fem::assemble_poisson(
+      m, [&](const Point2& p) { return q.f(p); },
+      [&](const Point2& p) { return q.g(p); });
+  return {std::move(m), std::move(prob)};
+}
+
+/// Untrained model: registry construction does not require training.
+gnn::DssModel tiny_model() {
+  gnn::DssConfig mc;
+  mc.iterations = 2;
+  mc.latent = 4;
+  mc.hidden = 4;
+  return gnn::DssModel(mc, 7);
+}
+
+TEST(Registry, EveryRegisteredNameConstructsAndNameMatches) {
+  auto [m, prob] = small_problem();
+  const auto dec =
+      partition::decompose_target_size(m.adj_ptr(), m.adj(), 250, 2, 3);
+  const gnn::DssModel model = tiny_model();
+  const auto names = precond::preconditioner_names();
+  ASSERT_GE(names.size(), 7u);
+  for (const std::string& name : names) {
+    const auto& traits = precond::preconditioner_traits(name);
+    precond::PrecondContext ctx;
+    ctx.A = &prob.A;
+    ctx.mesh = &m;
+    ctx.dirichlet = prob.dirichlet;
+    if (traits.needs_decomposition) ctx.dec = &dec;
+    if (traits.needs_model) ctx.model = &model;
+    const auto p = precond::make_preconditioner(name, ctx);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name(), name);
+    EXPECT_EQ(p->is_symmetric(), traits.symmetric) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingRegisteredNames) {
+  precond::PrecondContext ctx;
+  try {
+    precond::make_preconditioner("no-such-precond", ctx);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-precond"), std::string::npos);
+    EXPECT_NE(what.find("ddm-gnn"), std::string::npos);  // lists known names
+  }
+  EXPECT_THROW(precond::preconditioner_traits("bogus"), ContractError);
+  EXPECT_FALSE(precond::PrecondRegistry::instance().contains("bogus"));
+}
+
+TEST(Registry, AliasesResolveToCanonicalNames) {
+  const auto& reg = precond::PrecondRegistry::instance();
+  EXPECT_EQ(reg.canonical("ddm-lu-1"), "ddm-lu-1level");
+  EXPECT_EQ(reg.canonical("ddm-gnn-1"), "ddm-gnn-1level");
+  EXPECT_EQ(reg.canonical("identity"), "none");
+  // Aliases are reachable but not listed.
+  EXPECT_TRUE(reg.contains("ddm-lu-1"));
+  const auto names = precond::preconditioner_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "ddm-lu-1"), 0);
+}
+
+TEST(Registry, MissingRequirementsFailWithReadableErrors) {
+  auto [m, prob] = small_problem();
+  precond::PrecondContext ctx;
+  ctx.A = &prob.A;
+  ctx.mesh = &m;
+  ctx.dirichlet = prob.dirichlet;
+  // DDM without a decomposition.
+  EXPECT_THROW(precond::make_preconditioner("ddm-lu", ctx), ContractError);
+  // GNN with a decomposition but no model.
+  const auto dec =
+      partition::decompose_target_size(m.adj_ptr(), m.adj(), 250, 2, 3);
+  ctx.dec = &dec;
+  EXPECT_THROW(precond::make_preconditioner("ddm-gnn", ctx), ContractError);
+}
+
+TEST(KrylovSelector, NamesRoundTrip) {
+  for (const auto method :
+       {solver::KrylovMethod::kCg, solver::KrylovMethod::kPcg,
+        solver::KrylovMethod::kFpcg, solver::KrylovMethod::kBicgstab,
+        solver::KrylovMethod::kGmres}) {
+    const auto parsed =
+        solver::krylov_method_from_name(solver::krylov_method_name(method));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, method);
+  }
+  EXPECT_FALSE(solver::krylov_method_from_name("richardson").has_value());
+  EXPECT_FALSE(solver::krylov_method_from_name("").has_value());
+}
+
+TEST(SolverSession, SetupOnceSolveTwiceReusesState) {
+  auto [m, prob] = small_problem(11, 1500);
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-lu";
+  cfg.subdomain_target_nodes = 300;
+  cfg.rel_tol = 1e-8;
+  core::SolverSession session;
+  EXPECT_FALSE(session.ready());
+  session.setup(m, prob, cfg);
+  ASSERT_TRUE(session.ready());
+  EXPECT_GT(session.num_subdomains(), 1);
+  const double setup_s = session.setup_seconds();
+  EXPECT_GT(setup_s, 0.0);
+
+  std::vector<double> x1(prob.b.size(), 0.0), x2(prob.b.size(), 0.0);
+  const auto r1 = session.solve(prob.b, x1);
+  const auto r2 = session.solve(prob.b, x2);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  // Same system, same prepared state: identical iteration counts and
+  // solutions, and zero additional setup time after the first solve.
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(session.setup_seconds(), setup_s);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+  EXPECT_LT(fem::relative_residual(prob.A, prob.b, x1), 1e-7);
+}
+
+TEST(SolverSession, SolveManyMatchesIndividualSolves) {
+  auto [m, prob] = small_problem(13, 1000);
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-lu";
+  cfg.subdomain_target_nodes = 300;
+  cfg.track_history = false;
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+
+  // Three right-hand sides: the assembled b and two scaled copies.
+  std::vector<std::vector<double>> rhs(3, prob.b);
+  for (double& v : rhs[1]) v *= 2.0;
+  for (double& v : rhs[2]) v *= -0.5;
+  std::vector<std::vector<double>> xs;
+  const auto results = session.solve_many(rhs, xs);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(xs.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].converged) << i;
+    EXPECT_LT(fem::relative_residual(prob.A, rhs[i], xs[i]), 1e-5) << i;
+  }
+  // Linearity sanity: x[1] ≈ 2 x[0].
+  for (std::size_t j = 0; j < xs[0].size(); j += 97) {
+    EXPECT_NEAR(xs[1][j], 2.0 * xs[0][j],
+                1e-5 * (1.0 + std::abs(xs[1][j])));
+  }
+}
+
+TEST(SolverSession, MethodDefaultsFollowPrecondTraits) {
+  auto [m, prob] = small_problem(17, 800);
+  core::HybridConfig cfg;
+  cfg.subdomain_target_nodes = 250;
+  cfg.max_iterations = 5;
+  cfg.track_history = false;
+  core::SolverSession session;
+
+  cfg.preconditioner = "none";
+  session.setup(m, prob, cfg);
+  EXPECT_EQ(session.method(), solver::KrylovMethod::kCg);
+
+  // Aliases default like their canonical name.
+  cfg.preconditioner = "identity";
+  session.setup(m, prob, cfg);
+  EXPECT_EQ(session.method(), solver::KrylovMethod::kCg);
+
+  cfg.preconditioner = "jacobi";
+  session.setup(m, prob, cfg);
+  EXPECT_EQ(session.method(), solver::KrylovMethod::kPcg);
+
+  const gnn::DssModel model = tiny_model();
+  cfg.preconditioner = "ddm-gnn";
+  cfg.model = &model;
+  session.setup(m, prob, cfg);
+  EXPECT_EQ(session.method(), solver::KrylovMethod::kFpcg);
+
+  // Explicit selection wins over the trait default, and the SolveResult
+  // method string is prefixed with the selector's canonical name.
+  cfg.preconditioner = "ddm-lu";
+  cfg.method = solver::KrylovMethod::kBicgstab;
+  cfg.max_iterations = 500;
+  session.setup(m, prob, cfg);
+  EXPECT_EQ(session.method(), solver::KrylovMethod::kBicgstab);
+  std::vector<double> x(prob.b.size(), 0.0);
+  const auto res = session.solve(prob.b, x);
+  EXPECT_EQ(res.method, std::string("bicgstab+ddm-lu"));
+}
+
+TEST(SolverSession, UnknownPreconditionerNameThrowsBeforeAnySetup) {
+  auto [m, prob] = small_problem(19, 600);
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-quantum";
+  core::SolverSession session;
+  EXPECT_THROW(session.setup(m, prob, cfg), ContractError);
+  EXPECT_FALSE(session.ready());
+  std::vector<double> x(prob.b.size(), 0.0);
+  EXPECT_THROW(session.solve(prob.b, x), ContractError);
+}
+
+TEST(SolverSession, FailedReSetupLeavesSessionNotReady) {
+  auto [m, prob] = small_problem(29, 600);
+  core::HybridConfig cfg;
+  cfg.preconditioner = "jacobi";
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+  ASSERT_TRUE(session.ready());
+  // A failed re-setup must not leave the session keyed to the old problem.
+  cfg.preconditioner = "ddm-gn";  // typo
+  EXPECT_THROW(session.setup(m, prob, cfg), ContractError);
+  EXPECT_FALSE(session.ready());
+  std::vector<double> x(prob.b.size(), 0.0);
+  EXPECT_THROW(session.solve(prob.b, x), ContractError);
+}
+
+// The deprecated facade must stay a faithful wrapper over SolverSession.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SolvePoissonFacade, MatchesSessionSetupPlusSolve) {
+  auto [m, prob] = small_problem(23, 1200);
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-lu";
+  cfg.subdomain_target_nodes = 300;
+  const auto rep = core::solve_poisson(m, prob, cfg);
+  EXPECT_TRUE(rep.result.converged);
+  EXPECT_GT(rep.num_subdomains, 1);
+  EXPECT_GT(rep.setup_seconds, 0.0);
+
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+  std::vector<double> x(prob.b.size(), 0.0);
+  const auto res = session.solve(prob.b, x);
+  EXPECT_EQ(res.iterations, rep.result.iterations);
+  EXPECT_EQ(session.num_subdomains(), rep.num_subdomains);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], rep.solution[i]);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace

@@ -214,7 +214,8 @@ TEST(Gmres, ConvergesOnSpdProblem) {
   const precond::Ic0Preconditioner ic(prob.A);
   std::vector<double> x(prob.b.size(), 0.0);
   const auto res =
-      solver::gmres(prob.A, ic, prob.b, x, {.rel_tol = 1e-8}, 40);
+      solver::gmres(prob.A, ic, prob.b, x,
+                    {.rel_tol = 1e-8, .gmres_restart = 40});
   EXPECT_TRUE(res.converged);
   EXPECT_LT(fem::relative_residual(prob.A, prob.b, x), 1e-7);
 }
@@ -228,8 +229,9 @@ TEST(Gmres, HandlesNonsymmetricSystems) {
   const precond::IdentityPreconditioner id;
   std::vector<double> x(prob.b.size(), 0.0);
   const auto res =
-      solver::gmres(prob.A, id, prob.b, x, {.max_iterations = 3000,
-                                            .rel_tol = 1e-8}, 60);
+      solver::gmres(prob.A, id, prob.b, x,
+                    {.max_iterations = 3000, .rel_tol = 1e-8,
+                     .gmres_restart = 60});
   EXPECT_TRUE(res.converged);
   EXPECT_LT(fem::relative_residual(prob.A, prob.b, x), 1e-7);
 }

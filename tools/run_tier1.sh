@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full ctest suite.
+# Usage: tools/run_tier1.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+exec ctest --output-on-failure -j"$(nproc)" "$@"

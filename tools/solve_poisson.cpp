@@ -1,24 +1,28 @@
 // Legacy-style solver driver (the repository's analogue of an HTSSolver
-// command-line run): generate a Poisson problem, pick a preconditioner and
-// Krylov method from flags, solve, and print a machine-parsable report line.
+// command-line run): generate a Poisson problem, pick a preconditioner (by
+// registry name) and Krylov method (by selector name) from flags, solve
+// through a SolverSession, and print a machine-parsable report line.
 //
 //   solve_poisson --nodes 40000 --precond ddm-gnn --sub-nodes 350
 //                 --overlap 2 --tol 1e-6 --krylov fpcg --model artifacts/...
+//                 --repeat 1
 //
-// Preconditioners: none | jacobi | ic0 | ddm-lu | ddm-lu-1 | ddm-gnn |
-//                  ddm-gnn-1.  Krylov: cg | pcg | fpcg | bicgstab | gmres |
-//                  richardson (the stationary Eq. 8 iteration).
+// Preconditioners: any registered name (none | jacobi | ic0 | ddm-lu |
+//                  ddm-lu-1level | ddm-gnn | ddm-gnn-1level, plus aliases).
+// Krylov: cg | pcg | fpcg | bicgstab | gmres | richardson (the stationary
+// Eq. 8 iteration); default picked from the preconditioner's symmetry.
+// --repeat N re-solves the same system N times through one session, showing
+// the setup cost amortize away.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "core/hybrid_solver.hpp"
 #include "core/model_zoo.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "gnn/model_io.hpp"
 #include "mesh/generator.hpp"
-#include "precond/asm_precond.hpp"
-#include "precond/ic0_precond.hpp"
+#include "precond/registry.hpp"
 #include "solver/stationary.hpp"
 
 namespace {
@@ -45,6 +49,18 @@ int main(int argc, char** argv) {
   const std::string krylov = arg_str(argc, argv, "--krylov", "");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(arg_num(argc, argv, "--seed", 1));
+  const int repeat = static_cast<int>(arg_num(argc, argv, "--repeat", 1));
+
+  if (!precond::PrecondRegistry::instance().contains(precond)) {
+    std::fprintf(stderr, "unknown --precond %s; registered:", precond.c_str());
+    for (const auto& n : precond::preconditioner_names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const precond::PrecondTraits& traits =
+      precond::preconditioner_traits(precond);
 
   const mesh::Mesh m =
       mesh::generate_mesh_target_nodes(mesh::random_domain(seed), nodes, seed);
@@ -54,6 +70,7 @@ int main(int argc, char** argv) {
       [&](const mesh::Point2& p) { return q.g(p); });
 
   core::HybridConfig cfg;
+  cfg.preconditioner = precond;
   cfg.subdomain_target_nodes =
       static_cast<la::Index>(arg_num(argc, argv, "--sub-nodes", 350));
   cfg.overlap = static_cast<int>(arg_num(argc, argv, "--overlap", 2));
@@ -61,23 +78,10 @@ int main(int argc, char** argv) {
   cfg.max_iterations = static_cast<int>(arg_num(argc, argv, "--max-iters", 5000));
   cfg.gnn_refinement_steps =
       static_cast<int>(arg_num(argc, argv, "--refine", 0));
-
-  if (precond == "none") cfg.preconditioner = core::PrecondKind::kNone;
-  else if (precond == "jacobi") cfg.preconditioner = core::PrecondKind::kJacobi;
-  else if (precond == "ic0") cfg.preconditioner = core::PrecondKind::kIc0;
-  else if (precond == "ddm-lu") cfg.preconditioner = core::PrecondKind::kDdmLu;
-  else if (precond == "ddm-lu-1") cfg.preconditioner = core::PrecondKind::kDdmLu1;
-  else if (precond == "ddm-gnn") cfg.preconditioner = core::PrecondKind::kDdmGnn;
-  else if (precond == "ddm-gnn-1") cfg.preconditioner = core::PrecondKind::kDdmGnn1;
-  else {
-    std::fprintf(stderr, "unknown --precond %s\n", precond.c_str());
-    return 2;
-  }
+  cfg.seed = seed;
 
   std::optional<gnn::DssModel> model;
-  const bool is_gnn = cfg.preconditioner == core::PrecondKind::kDdmGnn ||
-                      cfg.preconditioner == core::PrecondKind::kDdmGnn1;
-  if (is_gnn) {
+  if (traits.needs_model) {
     const char* path = arg_str(argc, argv, "--model", nullptr);
     if (path != nullptr) {
       model = gnn::load_model(path);
@@ -89,37 +93,54 @@ int main(int argc, char** argv) {
       model = core::get_or_train_model(core::default_spec(10, 10));
     }
     cfg.model = &*model;
-    cfg.flexible = true;
   }
 
+  if (!krylov.empty() && krylov != "richardson") {
+    const auto method = solver::krylov_method_from_name(krylov);
+    if (!method) {
+      std::fprintf(stderr,
+                   "unknown --krylov %s (cg|pcg|fpcg|bicgstab|gmres|"
+                   "richardson)\n",
+                   krylov.c_str());
+      return 2;
+    }
+    cfg.method = *method;
+  }
+
+  core::SolverSession session;
+  session.setup(m, prob, cfg);
+
   if (krylov == "richardson") {
-    // Stationary Schwarz iteration (paper Eq. 8) through the same setup.
-    const auto dec = partition::decompose_target_size(
-        m.adj_ptr(), m.adj(), cfg.subdomain_target_nodes, cfg.overlap, seed);
-    precond::AdditiveSchwarz ddm(
-        prob.A, dec, std::make_unique<precond::CholeskySubdomainSolver>());
+    // Stationary Schwarz iteration (paper Eq. 8) reusing the session's
+    // preconditioner setup.
     std::vector<double> x(prob.b.size(), 0.0);
     solver::SolveOptions opts;
     opts.rel_tol = cfg.rel_tol;
     opts.max_iterations = cfg.max_iterations;
-    const auto res = solver::stationary_iteration(prob.A, ddm, prob.b, x, opts);
-    std::printf("method=richardson+asm N=%d K=%d iters=%d rel_res=%.3e "
-                "T=%.4f converged=%d\n",
-                m.num_nodes(), dec.num_parts, res.iterations,
+    const auto res = solver::stationary_iteration(
+        prob.A, session.preconditioner(), prob.b, x, opts);
+    std::printf("method=richardson+%s N=%d K=%d iters=%d rel_res=%.3e "
+                "T=%.4f setup=%.4f converged=%d\n",
+                session.preconditioner().name().c_str(), m.num_nodes(),
+                session.num_subdomains(), res.iterations,
                 res.final_relative_residual, res.total_seconds,
-                res.converged ? 1 : 0);
+                session.setup_seconds(), res.converged ? 1 : 0);
     return res.converged ? 0 : 1;
   }
-  if (krylov == "fpcg") cfg.flexible = true;
-  if (krylov == "pcg") cfg.flexible = false;
 
-  const auto rep = core::solve_poisson(m, prob, cfg);
-  std::printf("method=%s precond=%s N=%d K=%d iters=%d rel_res=%.3e T=%.4f "
-              "T_precond=%.4f setup=%.4f converged=%d\n",
-              rep.result.method.c_str(), precond.c_str(), m.num_nodes(),
-              rep.num_subdomains, rep.result.iterations,
-              rep.result.final_relative_residual, rep.result.total_seconds,
-              rep.result.precond_seconds, rep.setup_seconds,
-              rep.result.converged ? 1 : 0);
-  return rep.result.converged ? 0 : 1;
+  bool all_converged = true;
+  std::vector<double> x(prob.b.size());
+  for (int run = 0; run < std::max(1, repeat); ++run) {
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto res = session.solve(prob.b, x);
+    std::printf("method=%s precond=%s N=%d K=%d iters=%d rel_res=%.3e T=%.4f "
+                "T_precond=%.4f setup=%.4f converged=%d\n",
+                res.method.c_str(), precond.c_str(), m.num_nodes(),
+                session.num_subdomains(), res.iterations,
+                res.final_relative_residual, res.total_seconds,
+                res.precond_seconds, run == 0 ? session.setup_seconds() : 0.0,
+                res.converged ? 1 : 0);
+    all_converged = all_converged && res.converged;
+  }
+  return all_converged ? 0 : 1;
 }

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "core/dataset.hpp"
-#include "core/hybrid_solver.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "gnn/metrics.hpp"
 #include "gnn/model_io.hpp"
@@ -104,26 +104,33 @@ int main(int argc, char** argv) {
         m, [&](const mesh::Point2& p) { return q.f(p); },
         [&](const mesh::Point2& p) { return q.g(p); });
     core::HybridConfig cfg;
+    cfg.preconditioner = "ddm-gnn";
     cfg.subdomain_target_nodes = dc.subdomain_target_nodes;
     cfg.model = &model;
     cfg.max_iterations = 400;
     cfg.gnn_refinement_steps =
         static_cast<int>(arg_double(argc, argv, "--refine", 0));
-    for (const bool flexible : {false, true}) {
-      cfg.preconditioner = core::PrecondKind::kDdmGnn;
-      cfg.flexible = flexible;
-      const auto rep = core::solve_poisson(m, prob, cfg);
+    // One session: both Krylov variants reuse the same decomposition/graphs.
+    core::SolverSession session;
+    session.setup(m, prob, cfg);
+    std::vector<double> x(prob.b.size());
+    for (const auto method :
+         {solver::KrylovMethod::kPcg, solver::KrylovMethod::kFpcg}) {
+      session.set_method(method);
+      std::fill(x.begin(), x.end(), 0.0);
+      const auto res = session.solve(prob.b, x);
       std::printf("solve N=%d %s(refine=%d): iters=%d rel_res=%.2e %s\n",
-                  m.num_nodes(), flexible ? "fpcg" : "pcg",
-                  cfg.gnn_refinement_steps, rep.result.iterations,
-                  rep.result.final_relative_residual,
-                  rep.result.converged ? "converged" : "NOT CONVERGED");
+                  m.num_nodes(), solver::krylov_method_name(method),
+                  cfg.gnn_refinement_steps, res.iterations,
+                  res.final_relative_residual,
+                  res.converged ? "converged" : "NOT CONVERGED");
     }
-    cfg.preconditioner = core::PrecondKind::kDdmLu;
-    cfg.flexible = false;
-    const auto rep = core::solve_poisson(m, prob, cfg);
+    cfg.preconditioner = "ddm-lu";
+    session.setup(m, prob, cfg);
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto res = session.solve(prob.b, x);
     std::printf("solve N=%d ddm-lu: iters=%d (reference)\n", m.num_nodes(),
-                rep.result.iterations);
+                res.iterations);
   }
   return 0;
 }
