@@ -1,5 +1,6 @@
 #include "core/gnn_subdomain_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -22,6 +23,8 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
                                const partition::Decomposition& dec) {
   DDMGNN_CHECK(dec.num_nodes() == static_cast<la::Index>(coords_.size()),
                "GnnSubdomainSolver: geometry size mismatch");
+  shards_.clear();
+  shard_cols_ = -1;
   const auto k = static_cast<la::Index>(local_matrices.size());
   topologies_.resize(k);
   parallel_for_dynamic(k, [&](long i) {
@@ -76,6 +79,126 @@ void GnnSubdomainSolver::solve_all(
       // res = r − A_i z for the next correction pass.
       topo->a_local.multiply(z, res);
       for (std::size_t j = 0; j < n; ++j) res[j] = r[j] - res[j];
+    }
+  }
+}
+
+namespace {
+
+/// Merged-node budget per inference shard. Bounds the forward workspace (the
+/// per-edge tensors of all k̄ blocks) while still fusing several local
+/// problems into one DSS call; shard count never drops below the thread
+/// count, so the batched path keeps every core busy.
+constexpr la::Index kShardNodeBudget = 4096;
+
+}  // namespace
+
+void GnnSubdomainSolver::build_shards(la::Index s) const {
+  const auto k = static_cast<la::Index>(topologies_.size());
+  long total_nodes = 0;
+  for (const auto& t : topologies_) total_nodes += t->n;
+  total_nodes *= s;
+  const long ntasks = static_cast<long>(k) * s;
+  const long by_budget = (total_nodes + kShardNodeBudget - 1) /
+                         kShardNodeBudget;
+  const long nshards =
+      std::max<long>(1, std::min(ntasks,
+                                 std::max<long>(by_budget, num_threads())));
+  const long node_target = (total_nodes + nshards - 1) / nshards;
+
+  shards_.clear();
+  shards_.reserve(nshards);
+  // Column-major task order so one shard holds whole subdomain groups of a
+  // column before moving on; packing closes a shard at the node target.
+  std::vector<ShardTask> tasks;
+  long shard_nodes = 0;
+  auto flush = [&]() {
+    if (tasks.empty()) return;
+    Shard shard;
+    shard.tasks = std::move(tasks);
+    std::vector<gnn::GraphSample> samples(shard.tasks.size());
+    for (std::size_t t = 0; t < shard.tasks.size(); ++t) {
+      samples[t].topo = topologies_[shard.tasks[t].part];
+      samples[t].rhs.assign(samples[t].topo->n, 0.0);
+      shard.tasks[t].slot = static_cast<la::Index>(t);
+    }
+    shard.batch = gnn::batch_samples(samples);
+    shards_.push_back(std::move(shard));
+    tasks.clear();
+    shard_nodes = 0;
+  };
+  for (la::Index j = 0; j < s; ++j) {
+    for (la::Index i = 0; i < k; ++i) {
+      if (shard_nodes > 0 && shard_nodes + topologies_[i]->n > node_target) {
+        flush();
+      }
+      tasks.push_back(ShardTask{i, j, 0});
+      shard_nodes += topologies_[i]->n;
+    }
+  }
+  flush();
+  shard_cols_ = s;
+}
+
+void GnnSubdomainSolver::solve_all_block(
+    const std::vector<la::MultiVector>& r_loc,
+    std::vector<la::MultiVector>& z_loc) const {
+  DDMGNN_CHECK(r_loc.size() == topologies_.size(),
+               "GnnSubdomainSolver: block batch size mismatch");
+  if (r_loc.empty()) return;
+  const la::Index s = r_loc[0].cols();
+  if (s != shard_cols_) build_shards(s);
+  for (auto& z : z_loc) z.fill(0.0);
+
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads())
+  for (long sh = 0; sh < static_cast<long>(shards_.size()); ++sh) {
+    Shard& shard = shards_[sh];
+    static thread_local gnn::DssWorkspace tl_ws;
+    std::vector<float> out;
+    const std::size_t nt = shard.tasks.size();
+    std::vector<double> scale(nt, 0.0);
+    std::vector<std::vector<double>> res(options_.refinement_steps > 0 ? nt
+                                                                       : 0);
+    auto& rhs = shard.batch.merged.rhs;
+    for (int pass = 0; pass <= options_.refinement_steps; ++pass) {
+      for (std::size_t t = 0; t < nt; ++t) {
+        const ShardTask& task = shard.tasks[t];
+        const la::Index n = topologies_[task.part]->n;
+        const la::Index off = shard.batch.offsets[task.slot];
+        const std::span<const double> cur =
+            pass == 0 ? r_loc[task.part].col(task.column)
+                      : std::span<const double>(res[t]);
+        const double norm = la::norm2(cur);
+        if (norm <= options_.zero_threshold) {
+          // Below threshold the scalar path stops refining this task; a zero
+          // rhs slice (and zero scale) contributes exactly nothing here.
+          scale[t] = 0.0;
+          std::fill(rhs.begin() + off, rhs.begin() + off + n, 0.0);
+          continue;
+        }
+        const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
+        for (la::Index l = 0; l < n; ++l) rhs[off + l] = cur[l] * inv;
+        scale[t] = options_.normalize_input ? norm : 1.0;
+      }
+      model_->forward(shard.batch.merged, tl_ws, out);
+      for (std::size_t t = 0; t < nt; ++t) {
+        const ShardTask& task = shard.tasks[t];
+        const la::Index n = topologies_[task.part]->n;
+        const la::Index off = shard.batch.offsets[task.slot];
+        auto z = z_loc[task.part].col(task.column);
+        for (la::Index l = 0; l < n; ++l) {
+          z[l] += scale[t] * static_cast<double>(out[off + l]);
+        }
+      }
+      if (pass == options_.refinement_steps) break;
+      for (std::size_t t = 0; t < nt; ++t) {
+        const ShardTask& task = shard.tasks[t];
+        const auto& topo = topologies_[task.part];
+        res[t].resize(topo->n);
+        topo->a_local.multiply(z_loc[task.part].col(task.column), res[t]);
+        const auto r = r_loc[task.part].col(task.column);
+        for (la::Index l = 0; l < topo->n; ++l) res[t][l] = r[l] - res[t][l];
+      }
     }
   }
 }

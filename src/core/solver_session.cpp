@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "la/multivector.hpp"
 #include "precond/registry.hpp"
+#include "solver/block_krylov.hpp"
 
 namespace ddmgnn::core {
 
@@ -70,6 +72,31 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
     std::vector<std::vector<double>>& xs) const {
   DDMGNN_CHECK(ready(), "SolverSession::solve_many before setup()");
   xs.resize(rhs.size());
+  const bool block_capable =
+      method_ == solver::KrylovMethod::kCg ||
+      method_ == solver::KrylovMethod::kPcg ||
+      method_ == solver::KrylovMethod::kFpcg;
+  if (cfg_.block_multi_rhs && block_capable && rhs.size() > 1) {
+    const auto n = static_cast<std::size_t>(a_->rows());
+    for (const auto& b : rhs) {
+      DDMGNN_CHECK(b.size() == n, "solve_many: rhs size mismatch");
+    }
+    solver::SolveOptions opts;
+    opts.rel_tol = cfg_.rel_tol;
+    opts.max_iterations = cfg_.max_iterations;
+    opts.track_history = cfg_.track_history;
+    opts.gmres_restart = cfg_.gmres_restart;
+    const la::MultiVector b = la::MultiVector::from_columns(rhs);
+    la::MultiVector x(b.rows(), b.cols(), 0.0);
+    auto results =
+        solver::run_block_krylov(method_, *a_, *m_inv_, b, x, opts);
+    DDMGNN_CHECK(results.has_value(), "solve_many: block dispatch failed");
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      const auto col = x.col(static_cast<la::Index>(i));
+      xs[i].assign(col.begin(), col.end());
+    }
+    return std::move(*results);
+  }
   std::vector<solver::SolveResult> results;
   results.reserve(rhs.size());
   for (std::size_t i = 0; i < rhs.size(); ++i) {

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "la/multivector.hpp"
 
 namespace ddmgnn::la {
 
@@ -46,6 +47,39 @@ std::vector<double> CsrMatrix::apply(std::span<const double> x) const {
   std::vector<double> y(rows_);
   multiply(x, y);
   return y;
+}
+
+void CsrMatrix::apply_many(const MultiVector& x, MultiVector& y) const {
+  DDMGNN_CHECK(x.rows() == cols_, "apply_many: dimension mismatch");
+  y.resize(rows_, x.cols());
+  const Offset* rp = row_ptr_.data();
+  const Index* ci = col_idx_.data();
+  const double* v = vals_.data();
+  const double* xd = x.data().data();
+  double* yd = y.data().data();
+  const Index n = rows_;
+  constexpr Index kColChunk = 16;
+  for (Index c0 = 0; c0 < x.cols(); c0 += kColChunk) {
+    const Index cw = std::min(kColChunk, x.cols() - c0);
+    const double* xc = xd + static_cast<std::size_t>(c0) * cols_;
+    double* yc = yd + static_cast<std::size_t>(c0) * n;
+    parallel_for(
+        n,
+        [&](long i) {
+          double acc[kColChunk] = {};
+          for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+            const double a = v[k];
+            const std::size_t col = static_cast<std::size_t>(ci[k]);
+            for (Index j = 0; j < cw; ++j) {
+              acc[j] += a * xc[static_cast<std::size_t>(j) * cols_ + col];
+            }
+          }
+          for (Index j = 0; j < cw; ++j) {
+            yc[static_cast<std::size_t>(j) * n + i] = acc[j];
+          }
+        },
+        2048);
+  }
 }
 
 void CsrMatrix::multiply_transpose(std::span<const double> x,

@@ -13,6 +13,8 @@ namespace ddmgnn::la {
 using Index = std::int32_t;
 using Offset = std::int64_t;
 
+class MultiVector;
+
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -33,6 +35,12 @@ class CsrMatrix {
 
   /// Convenience allocating overload.
   std::vector<double> apply(std::span<const double> x) const;
+
+  /// Y = A X for a block of right-hand sides: one sweep over the matrix
+  /// serves every column (SpMM). Per column the accumulation order matches
+  /// multiply() exactly, so a block iteration reproduces scalar results
+  /// bit-for-bit. Shapes: X is rows()×s, Y is resized to match.
+  void apply_many(const MultiVector& x, MultiVector& y) const;
 
   /// y = A^T x  (serial scatter; used only in tests and loss gradients).
   void multiply_transpose(std::span<const double> x, std::span<double> y) const;

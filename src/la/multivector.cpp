@@ -1,0 +1,71 @@
+#include "la/multivector.hpp"
+
+namespace ddmgnn::la {
+
+MultiVector MultiVector::from_columns(
+    std::span<const std::vector<double>> cols) {
+  DDMGNN_CHECK(!cols.empty(), "MultiVector::from_columns: empty list");
+  const Index n = static_cast<Index>(cols[0].size());
+  MultiVector out(n, static_cast<Index>(cols.size()));
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    DDMGNN_CHECK(static_cast<Index>(cols[j].size()) == n,
+                 "MultiVector::from_columns: ragged columns");
+    la::copy(cols[j], out.col(static_cast<Index>(j)));
+  }
+  return out;
+}
+
+void MultiVector::keep_columns(std::span<const Index> keep) {
+  DDMGNN_CHECK(static_cast<Index>(keep.size()) <= cols_,
+               "MultiVector::keep_columns: too many columns");
+  for (std::size_t c = 0; c < keep.size(); ++c) {
+    const Index src = keep[c];
+    DDMGNN_CHECK(src >= 0 && src < cols_ &&
+                     (c == 0 || src > keep[c - 1]),
+                 "MultiVector::keep_columns: indices must be strictly "
+                 "increasing and in range");
+    if (static_cast<Index>(c) != src) {
+      la::copy(col(src), col(static_cast<Index>(c)));
+    }
+  }
+  cols_ = static_cast<Index>(keep.size());
+  data_.resize(static_cast<std::size_t>(rows_) * cols_);
+}
+
+void dot_columns(const MultiVector& x, const MultiVector& y,
+                 std::span<double> out) {
+  DDMGNN_CHECK(x.rows() == y.rows() && x.cols() == y.cols() &&
+                   out.size() == static_cast<std::size_t>(x.cols()),
+               "dot_columns: shape mismatch");
+  for (Index j = 0; j < x.cols(); ++j) out[j] = la::dot(x.col(j), y.col(j));
+}
+
+void norm2_columns(const MultiVector& x, std::span<double> out) {
+  DDMGNN_CHECK(out.size() == static_cast<std::size_t>(x.cols()),
+               "norm2_columns: shape mismatch");
+  for (Index j = 0; j < x.cols(); ++j) out[j] = la::norm2(x.col(j));
+}
+
+void axpy_columns(std::span<const double> a, const MultiVector& x,
+                  MultiVector& y) {
+  DDMGNN_CHECK(x.rows() == y.rows() && x.cols() == y.cols() &&
+                   a.size() == static_cast<std::size_t>(x.cols()),
+               "axpy_columns: shape mismatch");
+  for (Index j = 0; j < x.cols(); ++j) la::axpy(a[j], x.col(j), y.col(j));
+}
+
+void xpay_columns(std::span<const double> a, const MultiVector& x,
+                  MultiVector& y) {
+  DDMGNN_CHECK(x.rows() == y.rows() && x.cols() == y.cols() &&
+                   a.size() == static_cast<std::size_t>(x.cols()),
+               "xpay_columns: shape mismatch");
+  for (Index j = 0; j < x.cols(); ++j) la::xpay(x.col(j), a[j], y.col(j));
+}
+
+void copy_columns(const MultiVector& src, MultiVector& dst) {
+  DDMGNN_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "copy_columns: shape mismatch");
+  la::copy(src.data(), dst.data());
+}
+
+}  // namespace ddmgnn::la

@@ -11,6 +11,7 @@
 
 #include "la/csr.hpp"
 #include "la/dense.hpp"
+#include "la/multivector.hpp"
 #include "partition/decomposition.hpp"
 
 namespace ddmgnn::partition {
@@ -24,6 +25,11 @@ class NicolaidesCoarseSpace {
 
   /// z += R0ᵀ (R0 A R0ᵀ)⁻¹ R0 r.
   void apply_add(std::span<const double> r, std::span<double> z) const;
+
+  /// Block form: the K×s restricted block is pushed through ONE factorization
+  /// backsolve (solve_inplace_columns) serving all s columns. Per column the
+  /// arithmetic matches apply_add exactly.
+  void apply_add_many(const la::MultiVector& r, la::MultiVector& z) const;
 
   Index num_parts() const { return dec_->num_parts; }
   const la::DenseMatrix& coarse_matrix() const { return coarse_; }

@@ -7,6 +7,28 @@ namespace ddmgnn::precond {
 
 using la::Index;
 
+void SubdomainSolver::solve_all_block(
+    const std::vector<la::MultiVector>& r_loc,
+    std::vector<la::MultiVector>& z_loc) const {
+  const std::size_t k = r_loc.size();
+  DDMGNN_CHECK(z_loc.size() == k, "solve_all_block: batch size");
+  const Index s = k == 0 ? 0 : r_loc[0].cols();
+  std::vector<std::vector<double>> r_col(k), z_col(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    r_col[i].resize(r_loc[i].rows());
+    z_col[i].resize(r_loc[i].rows());
+  }
+  for (Index j = 0; j < s; ++j) {
+    for (std::size_t i = 0; i < k; ++i) {
+      la::copy(r_loc[i].col(j), r_col[i]);
+    }
+    solve_all(r_col, z_col);
+    for (std::size_t i = 0; i < k; ++i) {
+      la::copy(z_col[i], z_loc[i].col(j));
+    }
+  }
+}
+
 void CholeskySubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
                                     const partition::Decomposition& dec) {
   (void)dec;
@@ -23,6 +45,20 @@ void CholeskySubdomainSolver::solve_all(
   DDMGNN_CHECK(r_loc.size() == factors_.size(), "solve_all: batch size");
   parallel_for_dynamic(static_cast<long>(r_loc.size()), [&](long i) {
     z_loc[i] = factors_[i]->solve(r_loc[i]);
+  });
+}
+
+void CholeskySubdomainSolver::solve_all_block(
+    const std::vector<la::MultiVector>& r_loc,
+    std::vector<la::MultiVector>& z_loc) const {
+  DDMGNN_CHECK(r_loc.size() == factors_.size(), "solve_all_block: batch size");
+  parallel_for_dynamic(static_cast<long>(r_loc.size()), [&](long i) {
+    const la::MultiVector& r = r_loc[i];
+    la::MultiVector& z = z_loc[i];
+    for (Index j = 0; j < r.cols(); ++j) {
+      la::copy(r.col(j), z.col(j));
+      factors_[i]->solve_inplace(z.col(j));
+    }
   });
 }
 
@@ -66,6 +102,35 @@ void AdditiveSchwarz::apply(std::span<const double> r,
   }
   if (coarse_) {
     coarse_->apply_add(r, z);
+  }
+}
+
+void AdditiveSchwarz::apply_many(const la::MultiVector& r,
+                                 la::MultiVector& z) const {
+  const Index n = dec_->num_nodes();
+  const Index s = r.cols();
+  DDMGNN_CHECK(r.rows() == n && z.rows() == n && z.cols() == s,
+               "ASM::apply_many dims");
+  const Index k = dec_->num_parts;
+  if (r_blk_.empty()) {
+    r_blk_.resize(k);
+    z_blk_.resize(k);
+  }
+  for (Index i = 0; i < k; ++i) {
+    const auto ni = static_cast<Index>(dec_->subdomains[i].size());
+    if (r_blk_[i].rows() != ni || r_blk_[i].cols() != s) {
+      r_blk_[i].resize(ni, s);
+      z_blk_[i].resize(ni, s);
+    }
+    dec_->restrict_to_many(i, r, r_blk_[i]);
+  }
+  solver_->solve_all_block(r_blk_, z_blk_);
+  z.fill(0.0);
+  for (Index i = 0; i < k; ++i) {
+    dec_->prolong_add_many(i, z_blk_[i], z);
+  }
+  if (coarse_) {
+    coarse_->apply_add_many(r, z);
   }
 }
 

@@ -37,6 +37,11 @@ class AdditiveSchwarz final : public Preconditioner {
       : AdditiveSchwarz(a, dec, std::move(local_solver), Config{}) {}
 
   void apply(std::span<const double> r, std::span<double> z) const override;
+  /// Block application: restrict all s columns at once, hand the subdomain
+  /// solver a single K×s batch of local right-hand sides (one disjoint-union
+  /// DSS inference for the GNN solver), and push the coarse correction
+  /// through one multi-column backsolve.
+  void apply_many(const la::MultiVector& r, la::MultiVector& z) const override;
   std::string name() const override;
   bool is_symmetric() const override { return solver_->is_symmetric(); }
 
@@ -51,6 +56,9 @@ class AdditiveSchwarz final : public Preconditioner {
   // Reused per-apply buffers (apply is const but the buffers are scratch).
   mutable std::vector<std::vector<double>> r_loc_;
   mutable std::vector<std::vector<double>> z_loc_;
+  // Block-path scratch (resized lazily to the current column count s).
+  mutable std::vector<la::MultiVector> r_blk_;
+  mutable std::vector<la::MultiVector> z_blk_;
 };
 
 }  // namespace ddmgnn::precond

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "la/multivector.hpp"
+
 namespace ddmgnn::precond {
 
 class Preconditioner {
@@ -16,6 +18,15 @@ class Preconditioner {
 
   /// z = M⁻¹ r. Must not alias.
   virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+
+  /// Z = M⁻¹ R column-wise for a block of s residuals. The default loops
+  /// apply(); implementations that can amortize work across columns override
+  /// it (AdditiveSchwarz batches all s columns through one subdomain-solver
+  /// call — for DDM-GNN that is one disjoint-union DSS inference, Eq. 14).
+  /// Every override must stay column-equivalent to the looped default.
+  virtual void apply_many(const la::MultiVector& r, la::MultiVector& z) const {
+    for (la::Index j = 0; j < r.cols(); ++j) apply(r.col(j), z.col(j));
+  }
 
   virtual std::string name() const = 0;
 

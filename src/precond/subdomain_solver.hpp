@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "la/csr.hpp"
+#include "la/multivector.hpp"
 #include "la/skyline_cholesky.hpp"
 #include "partition/decomposition.hpp"
 
@@ -32,6 +33,15 @@ class SubdomainSolver {
   virtual void solve_all(const std::vector<std::vector<double>>& r_loc,
                          std::vector<std::vector<double>>& z_loc) const = 0;
 
+  /// Multi-RHS form: r_loc[i] / z_loc[i] are |subdomain i|×s blocks, one
+  /// column per global right-hand side — the K×s batch of local problems of
+  /// one block-preconditioner application. The default loops solve_all over
+  /// columns; implementations override to amortize (factorization reuse for
+  /// Cholesky, one disjoint-union DSS inference for the GNN). Overrides must
+  /// stay column-equivalent to the looped default.
+  virtual void solve_all_block(const std::vector<la::MultiVector>& r_loc,
+                               std::vector<la::MultiVector>& z_loc) const;
+
   virtual std::string name() const = 0;
   /// Whether each local solve is an SPD linear map of its input.
   virtual bool is_symmetric() const = 0;
@@ -44,6 +54,10 @@ class CholeskySubdomainSolver final : public SubdomainSolver {
              const partition::Decomposition& dec) override;
   void solve_all(const std::vector<std::vector<double>>& r_loc,
                  std::vector<std::vector<double>>& z_loc) const override;
+  /// Each factor is swept once per column back-to-back while its envelope is
+  /// hot in cache — the factorization is reused across all s columns.
+  void solve_all_block(const std::vector<la::MultiVector>& r_loc,
+                       std::vector<la::MultiVector>& z_loc) const override;
   std::string name() const override { return "lu"; }
   bool is_symmetric() const override { return true; }
 

@@ -7,17 +7,35 @@
 // stationary_vs_pcg test asserts).
 #pragma once
 
+#include <cstdint>
+
 #include "solver/krylov.hpp"
 
 namespace ddmgnn::solver {
 
 /// Preconditioned Richardson iteration (paper Eq. 8). `damping` scales the
-/// correction (1.0 = the paper's plain fixed-point form).
+/// correction (1.0 = the paper's plain fixed-point form — which DIVERGES
+/// whenever the spectrum of M⁻¹A exceeds 2; use `power_iteration_damping`
+/// for a safe default). The iteration aborts early with converged=false
+/// when the residual blows past kDivergenceFactor × ‖b‖ or turns non-finite
+/// instead of looping to max_iterations on garbage.
 SolveResult stationary_iteration(const CsrMatrix& a,
                                  const precond::Preconditioner& m,
                                  std::span<const double> b,
                                  std::span<double> x,
                                  const SolveOptions& opts = {},
                                  double damping = 1.0);
+
+/// Residual growth beyond this factor of ‖b‖ aborts stationary_iteration.
+inline constexpr double kDivergenceFactor = 1e8;
+
+/// Safe Richardson damping ω from a cheap power iteration on M⁻¹A:
+/// estimates λ_max(M⁻¹A) and returns 1/(1.05·λ̂_max), which keeps the
+/// iteration matrix I − ωM⁻¹A contractive for SPD-preconditioned SPD
+/// systems (eigenvalues fall in (0, 1)). `iterations` power steps (default
+/// 12) cost one SpMV + one preconditioner application each.
+double power_iteration_damping(const CsrMatrix& a,
+                               const precond::Preconditioner& m,
+                               int iterations = 12, std::uint64_t seed = 0);
 
 }  // namespace ddmgnn::solver

@@ -109,6 +109,43 @@ TEST(Batch, ForwardEquivalentToPerGraphForward) {
   }
 }
 
+TEST(Batch, RepeatedTopologyRhsColumnsMatchPerColumnForward) {
+  // The multi-RHS block preconditioner merges the SAME subdomain topology
+  // once per RHS column into one disjoint-union inference (columns ×
+  // subdomains). A batched forward over repeated topologies with distinct
+  // rhs channels must be bit-close to the per-column forwards.
+  const auto base = ring_sample(11, 20, 0.15);
+  std::vector<gnn::GraphSample> columns;
+  for (int j = 0; j < 4; ++j) {
+    gnn::GraphSample s;
+    s.topo = base.topo;  // shared topology, per-column rhs
+    Rng rng(400 + j);
+    s.rhs.resize(base.topo->n);
+    for (double& v : s.rhs) v = rng.uniform(-1, 1);
+    const double norm = la::norm2(s.rhs);
+    for (double& v : s.rhs) v /= norm;
+    columns.push_back(std::move(s));
+  }
+  gnn::DssConfig cfg;
+  cfg.iterations = 4;
+  cfg.latent = 6;
+  cfg.hidden = 8;
+  const gnn::DssModel model(cfg, 77);
+  gnn::DssWorkspace ws;
+  const auto batch = gnn::batch_samples(columns);
+  std::vector<float> merged_out;
+  model.forward(batch.merged, ws, merged_out);
+  for (Index p = 0; p < batch.num_parts(); ++p) {
+    std::vector<float> solo;
+    model.forward(columns[p], ws, solo);
+    const auto slice = batch.split(std::span<const float>(merged_out), p);
+    ASSERT_EQ(slice.size(), solo.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_NEAR(slice[i], solo[i], 1e-6f) << "column " << p << " node " << i;
+    }
+  }
+}
+
 TEST(Batch, LossIsNodeWeightedMeanOfParts) {
   std::vector<gnn::GraphSample> parts{ring_sample(10, 9, 0.1),
                                       ring_sample(20, 10, 0.2)};

@@ -10,9 +10,11 @@
 // Preconditioners: any registered name (none | jacobi | ic0 | ddm-lu |
 //                  ddm-lu-1level | ddm-gnn | ddm-gnn-1level, plus aliases).
 // Krylov: cg | pcg | fpcg | bicgstab | gmres | richardson (the stationary
-// Eq. 8 iteration); default picked from the preconditioner's symmetry.
+// Eq. 8 iteration; damped by --omega, auto power-iteration bound when
+// omitted); default picked from the preconditioner's symmetry.
 // --repeat N re-solves the same system N times through one session, showing
 // the setup cost amortize away.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -112,19 +114,57 @@ int main(int argc, char** argv) {
 
   if (krylov == "richardson") {
     // Stationary Schwarz iteration (paper Eq. 8) reusing the session's
-    // preconditioner setup.
+    // preconditioner setup. Undamped Richardson diverges whenever the
+    // spectrum of M⁻¹A exceeds 2 (additive Schwarz overlaps push it there),
+    // so the default damping comes from a cheap power-iteration bound;
+    // --omega overrides it (--omega 1 reproduces the plain Eq. 8 form).
+    const char* omega_str = arg_str(argc, argv, "--omega", nullptr);
+    const double omega_flag = omega_str != nullptr ? std::atof(omega_str) : 0.0;
+    if (omega_str != nullptr && !(omega_flag > 0.0)) {
+      std::fprintf(stderr, "--omega must be > 0 (got %s); omit the flag for "
+                   "the power-iteration default\n", omega_str);
+      return 2;
+    }
+    const double omega =
+        omega_str != nullptr
+            ? omega_flag
+            : solver::power_iteration_damping(prob.A,
+                                              session.preconditioner(),
+                                              /*iterations=*/12, seed);
     std::vector<double> x(prob.b.size(), 0.0);
     solver::SolveOptions opts;
     opts.rel_tol = cfg.rel_tol;
     opts.max_iterations = cfg.max_iterations;
     const auto res = solver::stationary_iteration(
-        prob.A, session.preconditioner(), prob.b, x, opts);
-    std::printf("method=richardson+%s N=%d K=%d iters=%d rel_res=%.3e "
-                "T=%.4f setup=%.4f converged=%d\n",
+        prob.A, session.preconditioner(), prob.b, x, opts, omega);
+    std::printf("method=richardson+%s N=%d K=%d omega=%.4f%s iters=%d "
+                "rel_res=%.3e T=%.4f setup=%.4f converged=%d\n",
                 session.preconditioner().name().c_str(), m.num_nodes(),
-                session.num_subdomains(), res.iterations,
+                session.num_subdomains(), omega,
+                omega_str != nullptr ? "" : "(auto)", res.iterations,
                 res.final_relative_residual, res.total_seconds,
                 session.setup_seconds(), res.converged ? 1 : 0);
+    if (!res.converged) {
+      const bool blew_up =
+          !res.history.empty() &&
+          (res.final_relative_residual > 1.0 ||
+           !std::isfinite(res.final_relative_residual));
+      if (blew_up) {
+        std::fprintf(stderr,
+                     "richardson DIVERGED (rel_res=%.3e after %d iters, "
+                     "omega=%.4f): the iteration matrix I - omega*M^-1*A is "
+                     "not contractive. Retry with a smaller --omega or use "
+                     "a Krylov method (--krylov pcg).\n",
+                     res.final_relative_residual, res.iterations, omega);
+      } else {
+        std::fprintf(stderr,
+                     "richardson did not reach tol=%.1e in %d iterations "
+                     "(rel_res=%.3e, omega=%.4f): increase --max-iters or "
+                     "--omega, or use --krylov pcg.\n",
+                     cfg.rel_tol, res.iterations,
+                     res.final_relative_residual, omega);
+      }
+    }
     return res.converged ? 0 : 1;
   }
 
