@@ -11,9 +11,15 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+#include <optional>
+
+#include "common/error.hpp"
 #include "common/options.hpp"
 #include "core/hybrid_solver.hpp"
+#include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
+#include "la/mm_io.hpp"
 #include "mesh/generator.hpp"
 
 namespace ddmgnn::bench {
@@ -63,6 +69,71 @@ inline Problem make_problem(la::Index target_nodes, std::uint64_t seed) {
       m, [&](const mesh::Point2& p) { return q.f(p); },
       [&](const mesh::Point2& p) { return q.g(p); });
   return {std::move(m), std::move(prob)};
+}
+
+/// A bench problem from either source: the generated FEM mesh (default) or
+/// an external MatrixMarket operator (`--matrix file.mtx`, optional
+/// `--rhs b.mtx`). `mesh` is engaged only for the FEM source; matrix-sourced
+/// problems run through the session's algebraic setup path. `source` feeds
+/// the JSON records so perf trajectories can tell operators apart.
+struct AnyProblem {
+  std::optional<mesh::Mesh> mesh;
+  fem::PoissonProblem prob;
+  std::string source;  // "fem" or the --matrix path
+
+  la::Index num_nodes() const { return prob.A.rows(); }
+
+  /// setup() through the right path for this problem's source.
+  void setup_session(core::SolverSession& session,
+                     const core::HybridConfig& cfg) const {
+    if (mesh.has_value()) {
+      session.setup(*mesh, prob, cfg);
+    } else {
+      session.setup(prob.A, cfg);
+    }
+  }
+};
+
+inline const char* find_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// `--matrix file.mtx [--rhs b.mtx]` when present, else the generated FEM
+/// problem at `target_nodes`. Matrix mode defaults the right-hand side to
+/// A·1 (manufactured all-ones solution) and an empty Dirichlet mask.
+inline AnyProblem load_or_make_problem(int argc, char** argv,
+                                       la::Index target_nodes,
+                                       std::uint64_t seed) {
+  AnyProblem out;
+  const char* matrix_path = find_flag(argc, argv, "--matrix");
+  if (matrix_path == nullptr) {
+    auto [m, prob] = make_problem(target_nodes, seed);
+    out.mesh = std::move(m);
+    out.prob = std::move(prob);
+    out.source = "fem";
+    return out;
+  }
+  out.prob.A = la::mm::read_matrix(matrix_path);
+  DDMGNN_CHECK(out.prob.A.rows() == out.prob.A.cols(),
+               std::string("--matrix ") + matrix_path +
+                   ": operator must be square");
+  const char* rhs_path = find_flag(argc, argv, "--rhs");
+  if (rhs_path != nullptr) {
+    out.prob.b = la::mm::read_vector(rhs_path);
+    DDMGNN_CHECK(out.prob.b.size() ==
+                     static_cast<std::size_t>(out.prob.A.rows()),
+                 std::string("--rhs ") + rhs_path +
+                     ": size does not match the operator");
+  } else {
+    const std::vector<double> ones(out.prob.A.rows(), 1.0);
+    out.prob.b = out.prob.A.apply(ones);
+  }
+  out.prob.dirichlet.assign(out.prob.A.rows(), 0);
+  out.source = matrix_path;
+  return out;
 }
 
 /// One-shot setup+solve for benches that genuinely solve each system once —

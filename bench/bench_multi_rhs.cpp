@@ -21,7 +21,7 @@
 #include "core/solver_session.hpp"
 #include "la/vector_ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddmgnn;
   bench::print_header(
       "Multi-RHS solve engine: sequential loop vs batched block-Krylov");
@@ -40,8 +40,14 @@ int main() {
     default: break;
   }
   const std::uint64_t seed = 2024;
-  auto [m, prob] = bench::make_problem(target_nodes, seed);
-  std::printf("mesh: %d nodes, tol 1e-6\n", m.num_nodes());
+  // --matrix file.mtx [--rhs b.mtx] swaps the generated FEM problem for an
+  // external operator (algebraic setup path) so the perf trajectory can
+  // include systems the repo never assembled.
+  const bench::AnyProblem any =
+      bench::load_or_make_problem(argc, argv, target_nodes, seed);
+  const auto& prob = any.prob;
+  std::printf("operator: %s, %d nodes, tol 1e-6\n", any.source.c_str(),
+              any.num_nodes());
 
   const core::ZooSpec spec = core::default_spec(10, 10);
   const gnn::DssModel model = core::get_or_train_model(spec);
@@ -72,7 +78,7 @@ int main() {
     if (precond == "ddm-gnn") cfg.model = &model;
 
     core::SolverSession session;
-    session.setup(m, prob, cfg);
+    any.setup_session(session, cfg);
     std::printf("\n%s: K=%d subdomains (setup %.2fs, shared by both modes)\n",
                 precond.c_str(), session.num_subdomains(),
                 session.setup_seconds());
@@ -111,8 +117,9 @@ int main() {
 
       bench::JsonRecord rec;
       rec.add("precond", precond)
+          .add("source", any.source)
           .add("num_rhs", s)
-          .add("nodes", static_cast<int>(m.num_nodes()))
+          .add("nodes", static_cast<int>(any.num_nodes()))
           .add("subdomains", static_cast<int>(session.num_subdomains()))
           .add("seq_seconds", seq_s)
           .add("block_seconds", blk_s)

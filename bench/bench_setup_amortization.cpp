@@ -13,7 +13,7 @@
 #include "core/model_zoo.hpp"
 #include "core/solver_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddmgnn;
   bench::print_header(
       "Setup amortization: one setup, N=10 right-hand sides per session");
@@ -22,9 +22,14 @@ int main() {
   const gnn::DssModel model = core::get_or_train_model(spec);
 
   const double nf = bench_scale() == BenchScale::kSmoke ? 1.5 : 4.0;
-  auto [m, prob] = bench::make_problem(
+  // --matrix file.mtx [--rhs b.mtx] benches an external operator through the
+  // algebraic setup path instead of the generated FEM problem.
+  const bench::AnyProblem any = bench::load_or_make_problem(
+      argc, argv,
       static_cast<la::Index>(nf * spec.dataset.mesh_target_nodes), 808);
-  std::printf("problem: N=%d nodes\n", m.num_nodes());
+  const auto& prob = any.prob;
+  std::printf("problem: %s, N=%d nodes\n", any.source.c_str(),
+              any.num_nodes());
 
   // N fresh interior right-hand sides on the same operator.
   constexpr int kNumRhs = 10;
@@ -51,7 +56,7 @@ int main() {
     cfg.track_history = false;
 
     core::SolverSession session;
-    session.setup(m, prob, cfg);
+    any.setup_session(session, cfg);
 
     std::vector<std::vector<double>> xs;
     const auto results = session.solve_many(rhs, xs);
@@ -76,7 +81,8 @@ int main() {
 
     bench::JsonRecord rec;
     rec.add("precond", std::string(name))
-        .add("nodes", m.num_nodes())
+        .add("source", any.source)
+        .add("nodes", any.num_nodes())
         .add("num_subdomains", session.num_subdomains())
         .add("num_rhs", kNumRhs)
         .add("setup_seconds", session.setup_seconds())

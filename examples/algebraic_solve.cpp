@@ -1,0 +1,104 @@
+// Matrix-first (algebraic) usage: solve an operator that never touched the
+// FEM pipeline. Builds a 5-point finite-difference Laplacian on a grid —
+// no mesh::Mesh, no fem::assemble_poisson — round-trips it through
+// MatrixMarket (the format external systems arrive in), prepares a
+// SolverSession straight from the CsrMatrix, and re-solves the family of
+// shifted operators through a core::SessionCache to show setup being paid
+// exactly once per distinct operator.
+//
+//   ./algebraic_solve [grid_side]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/session_cache.hpp"
+#include "core/solver_session.hpp"
+#include "fem/poisson.hpp"
+#include "la/mm_io.hpp"
+
+using namespace ddmgnn;
+
+namespace {
+
+/// 5-point Laplacian with homogeneous Dirichlet boundary folded in (interior
+/// unknowns only): the canonical "we only have the matrix" SPD system.
+la::CsrMatrix grid_laplacian(la::Index side, double diagonal_shift) {
+  const la::Index n = side * side;
+  la::CooBuilder coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (la::Index r = 0; r < side; ++r) {
+    for (la::Index c = 0; c < side; ++c) {
+      const la::Index i = r * side + c;
+      coo.add(i, i, 4.0 + diagonal_shift);
+      if (r > 0) coo.add(i, i - side, -1.0);
+      if (r + 1 < side) coo.add(i, i + side, -1.0);
+      if (c > 0) coo.add(i, i - 1, -1.0);
+      if (c + 1 < side) coo.add(i, i + 1, -1.0);
+    }
+  }
+  return std::move(coo).build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Clamp the grid side to a sane range: n = side² must fit la::Index.
+  const la::Index side = std::clamp(argc > 1 ? std::atoi(argv[1]) : 48, 4,
+                                    20000);
+  std::printf("5-point Laplacian on a %dx%d grid (n = %d) — no mesh, no FEM\n",
+              side, side, side * side);
+
+  // --- MatrixMarket round trip: the way external operators arrive. -------
+  const auto mtx =
+      (std::filesystem::temp_directory_path() / "algebraic_demo.mtx").string();
+  la::mm::write_matrix(mtx, grid_laplacian(side, 0.0),
+                       la::mm::Symmetry::kSymmetric);
+  const la::CsrMatrix A = la::mm::read_matrix(mtx);
+  std::printf("round-tripped %s: %d x %d, %lld stored entries\n", mtx.c_str(),
+              A.rows(), A.cols(), static_cast<long long>(A.nnz()));
+
+  // --- Matrix-first setup + solve. ---------------------------------------
+  core::HybridConfig cfg;
+  cfg.preconditioner = "ddm-lu";
+  cfg.subdomain_target_nodes = 400;
+  cfg.rel_tol = 1e-8;
+
+  const std::vector<double> ones(A.rows(), 1.0);
+  const std::vector<double> b = A.apply(ones);  // manufactured solution = 1
+  std::vector<double> x(A.rows(), 0.0);
+
+  core::SolverSession session;
+  session.setup(A, cfg);  // decomposition from the matrix graph
+  const auto res = session.solve(b, x);
+  std::printf("%s: K=%d subdomains, %d iterations, rel_res=%.2e, "
+              "setup %.3fs, solve %.3fs\n",
+              res.method.c_str(), session.num_subdomains(), res.iterations,
+              res.final_relative_residual, session.setup_seconds(),
+              res.total_seconds);
+
+  // --- A family of operators through the session cache. ------------------
+  // Re-solving campaigns hit the same few operators over and over; the cache
+  // pays setup once per operator and serves prepared sessions afterwards.
+  core::SessionCache cache(/*byte_budget=*/256u << 20);
+  const double shifts[] = {0.0, 0.5, 0.0, 0.5, 0.0};
+  for (const double shift : shifts) {
+    const la::CsrMatrix shifted = grid_laplacian(side, shift);
+    auto s = cache.get_or_setup(shifted, cfg);
+    std::vector<double> bs = shifted.apply(ones);
+    std::vector<double> xs(shifted.rows(), 0.0);
+    const auto r = s->solve(bs, xs);
+    std::printf("  shift %.1f: %d iterations (cache: %zu hits / %zu misses)\n",
+                shift, r.iterations, cache.stats().hits,
+                cache.stats().misses);
+  }
+  std::printf("cache held %zu sessions, %.1f MiB accounted\n", cache.size(),
+              static_cast<double>(cache.size_bytes()) / (1u << 20));
+
+  const double err_ok =
+      fem::relative_residual(A, b, x) < 1e-7 ? 1.0 : 0.0;
+  std::printf("%s\n", err_ok != 0.0 ? "OK" : "FAILED");
+  return err_ok != 0.0 ? 0 : 1;
+}

@@ -13,11 +13,25 @@ GnnSubdomainSolver::GnnSubdomainSolver(const gnn::DssModel& model,
                                        const mesh::Mesh& m,
                                        std::span<const std::uint8_t> dirichlet,
                                        Options options)
+    : GnnSubdomainSolver(
+          model, std::vector<mesh::Point2>(m.points().begin(), m.points().end()),
+          std::vector<std::uint8_t>(dirichlet.begin(), dirichlet.end()),
+          gnn::adjacency_pattern(m.adj_ptr(), m.adj()), options) {}
+
+GnnSubdomainSolver::GnnSubdomainSolver(const gnn::DssModel& model,
+                                       std::vector<mesh::Point2> coords,
+                                       std::vector<std::uint8_t> dirichlet,
+                                       la::CsrMatrix message_pattern,
+                                       Options options)
     : model_(&model),
-      coords_(m.points().begin(), m.points().end()),
-      dirichlet_(dirichlet.begin(), dirichlet.end()),
-      mesh_pattern_(gnn::adjacency_pattern(m.adj_ptr(), m.adj())),
-      options_(options) {}
+      coords_(std::move(coords)),
+      dirichlet_(std::move(dirichlet)),
+      mesh_pattern_(std::move(message_pattern)),
+      options_(options) {
+  DDMGNN_CHECK(coords_.size() == dirichlet_.size() &&
+                   mesh_pattern_.rows() == static_cast<la::Index>(coords_.size()),
+               "GnnSubdomainSolver: geometry/pattern size mismatch");
+}
 
 void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
                                const partition::Decomposition& dec) {

@@ -47,6 +47,15 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   GnnSubdomainSolver(const gnn::DssModel& model, const mesh::Mesh& m,
                      std::span<const std::uint8_t> dirichlet)
       : GnnSubdomainSolver(model, m, dirichlet, Options{}) {}
+  /// Geometry-generic form for the matrix-first setup path: node positions
+  /// (mesh points or synthetic spectral coordinates) and an explicit
+  /// message-graph pattern (unit CSR; subdomain graphs are its principal
+  /// submatrices) instead of a mesh. The mesh constructor delegates here
+  /// with (points, mesh adjacency), so both paths share one code path.
+  GnnSubdomainSolver(const gnn::DssModel& model,
+                     std::vector<mesh::Point2> coords,
+                     std::vector<std::uint8_t> dirichlet,
+                     la::CsrMatrix message_pattern, Options options);
 
   void setup(std::vector<la::CsrMatrix> local_matrices,
              const partition::Decomposition& dec) override;
@@ -92,7 +101,8 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   const gnn::DssModel* model_;
   std::vector<mesh::Point2> coords_;
   std::vector<std::uint8_t> dirichlet_;
-  la::CsrMatrix mesh_pattern_;  // global mesh adjacency (unit values)
+  la::CsrMatrix mesh_pattern_;  // global message graph (unit values):
+                                // mesh adjacency or matrix adjacency
   Options options_;
   std::vector<std::shared_ptr<gnn::GraphTopology>> topologies_;
   mutable std::vector<Shard> shards_;

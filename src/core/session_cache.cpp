@@ -1,0 +1,204 @@
+#include "core/session_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::core {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_span(std::span<const T> s, std::uint64_t h) {
+  return fnv1a(s.data(), s.size() * sizeof(T), h);
+}
+
+template <typename T>
+std::uint64_t hash_pod(const T& v, std::uint64_t h) {
+  return fnv1a(&v, sizeof(T), h);
+}
+
+std::uint64_t fingerprint_of(const la::CsrMatrix& A, const HybridConfig& cfg,
+                             const AlgebraicOptions& opts,
+                             const mesh::Mesh* m) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  // Source tag + setup graph: a mesh-keyed session is prepared with the mesh
+  // adjacency, a matrix-keyed one with the matrix pattern — identical
+  // (A, cfg, opts) must NOT collide across the two, or a hit would return a
+  // session decomposed over the wrong graph.
+  const std::uint8_t mesh_keyed = m != nullptr ? 1 : 0;
+  h = hash_pod(mesh_keyed, h);
+  if (m != nullptr) {
+    h = hash_span(m->adj_ptr(), h);
+    h = hash_span(m->adj(), h);
+  }
+  h = hash_pod(A.rows(), h);
+  h = hash_pod(A.cols(), h);
+  h = hash_span(A.row_ptr(), h);
+  h = hash_span(A.col_idx(), h);
+  h = hash_span(A.values(), h);
+  h = hash_span(opts.dirichlet, h);
+  h = hash_span(opts.coordinates, h);
+  h = fnv1a(cfg.preconditioner.data(), cfg.preconditioner.size(), h);
+  const int method = cfg.method.has_value()
+                         ? static_cast<int>(*cfg.method)
+                         : -1;
+  h = hash_pod(method, h);
+  h = hash_pod(cfg.subdomain_target_nodes, h);
+  h = hash_pod(cfg.overlap, h);
+  h = hash_pod(cfg.rel_tol, h);
+  h = hash_pod(cfg.max_iterations, h);
+  h = hash_pod(cfg.gmres_restart, h);
+  h = hash_pod(cfg.model, h);  // identity of the shared trained model
+  h = hash_pod(cfg.gnn_refinement_steps, h);
+  h = hash_pod(cfg.gnn_normalize, h);
+  h = hash_pod(cfg.seed, h);
+  h = hash_pod(cfg.track_history, h);
+  h = hash_pod(cfg.block_multi_rhs, h);
+  return h;
+}
+
+template <typename T>
+bool spans_equal(std::span<const T> a, std::span<const T> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+bool matrices_equal(const la::CsrMatrix& a, const la::CsrMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         spans_equal(a.row_ptr(), b.row_ptr()) &&
+         spans_equal(a.col_idx(), b.col_idx()) &&
+         spans_equal(a.values(), b.values());
+}
+
+bool configs_equal(const HybridConfig& a, const HybridConfig& b) {
+  return a.preconditioner == b.preconditioner && a.method == b.method &&
+         a.subdomain_target_nodes == b.subdomain_target_nodes &&
+         a.overlap == b.overlap && a.rel_tol == b.rel_tol &&
+         a.max_iterations == b.max_iterations &&
+         a.gmres_restart == b.gmres_restart && a.model == b.model &&
+         a.gnn_refinement_steps == b.gnn_refinement_steps &&
+         a.gnn_normalize == b.gnn_normalize && a.seed == b.seed &&
+         a.track_history == b.track_history &&
+         a.block_multi_rhs == b.block_multi_rhs;
+}
+
+}  // namespace
+
+struct SessionCache::Entry {
+  std::uint64_t fingerprint = 0;
+  // Owned copies of everything the prepared session points into.
+  la::CsrMatrix A;
+  std::vector<std::uint8_t> dirichlet;
+  std::vector<mesh::Point2> coordinates;
+  // The setup graph for mesh-keyed entries (empty for matrix-keyed ones,
+  // whose graph is derivable from A): part of the exact-verify so the
+  // collision guarantee holds across the two setup paths.
+  std::vector<la::Offset> graph_ptr;
+  std::vector<la::Index> graph_idx;
+  HybridConfig cfg;
+  SolverSession session;
+  std::size_t bytes = 0;
+};
+
+std::shared_ptr<SolverSession> SessionCache::lookup_or_insert(
+    std::uint64_t fingerprint, const la::CsrMatrix& A, const HybridConfig& cfg,
+    const AlgebraicOptions& opts, const mesh::Mesh* m) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    Entry& e = **it;
+    if (e.fingerprint != fingerprint) continue;
+    // Exact verification: a colliding fingerprint must degrade to a miss.
+    const bool entry_mesh_keyed = !e.graph_ptr.empty();
+    if (entry_mesh_keyed != (m != nullptr)) continue;
+    if (m != nullptr &&
+        (!spans_equal(std::span<const la::Offset>(e.graph_ptr), m->adj_ptr()) ||
+         !spans_equal(std::span<const la::Index>(e.graph_idx), m->adj()))) {
+      continue;
+    }
+    if (!configs_equal(e.cfg, cfg) || !matrices_equal(e.A, A) ||
+        !spans_equal(std::span<const std::uint8_t>(e.dirichlet),
+                     opts.dirichlet) ||
+        !spans_equal(std::span<const mesh::Point2>(e.coordinates),
+                     opts.coordinates)) {
+      continue;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it);  // mark most-recent
+    return {*it, &(*it)->session};
+  }
+
+  ++stats_.misses;
+  auto entry = std::make_shared<Entry>();
+  entry->fingerprint = fingerprint;
+  entry->A = A;  // private copy: the session must outlive the caller's matrix
+  entry->dirichlet.assign(opts.dirichlet.begin(), opts.dirichlet.end());
+  entry->coordinates.assign(opts.coordinates.begin(), opts.coordinates.end());
+  entry->cfg = cfg;
+  AlgebraicOptions owned_opts;
+  owned_opts.dirichlet = entry->dirichlet;
+  owned_opts.coordinates = entry->coordinates;
+  if (m != nullptr) {
+    // Mesh-keyed: identical to setup(mesh, prob, cfg) — same graph, coords
+    // and mask — but run against the entry's operator copy so the prepared
+    // state points into the cache, not the caller.
+    entry->graph_ptr.assign(m->adj_ptr().begin(), m->adj_ptr().end());
+    entry->graph_idx.assign(m->adj().begin(), m->adj().end());
+    entry->session.setup_from_graph(entry->A, cfg, entry->graph_ptr,
+                                    entry->graph_idx, owned_opts);
+  } else {
+    entry->session.setup(entry->A, cfg, owned_opts);
+  }
+  entry->bytes = entry->session.memory_bytes() +
+                 entry->dirichlet.size() +
+                 entry->coordinates.size() * sizeof(mesh::Point2) +
+                 entry->graph_ptr.size() * sizeof(la::Offset) +
+                 entry->graph_idx.size() * sizeof(la::Index);
+  bytes_ += entry->bytes;
+  entries_.push_front(entry);
+  evict_over_budget();
+  auto& front = entries_.front();
+  return {front, &front->session};
+}
+
+std::shared_ptr<SolverSession> SessionCache::get_or_setup(
+    const mesh::Mesh& m, const fem::PoissonProblem& prob,
+    const HybridConfig& cfg) {
+  AlgebraicOptions opts;
+  opts.dirichlet = prob.dirichlet;
+  opts.coordinates = m.points();
+  return lookup_or_insert(fingerprint_of(prob.A, cfg, opts, &m), prob.A, cfg,
+                          opts, &m);
+}
+
+std::shared_ptr<SolverSession> SessionCache::get_or_setup(
+    const la::CsrMatrix& A, const HybridConfig& cfg,
+    const AlgebraicOptions& opts) {
+  return lookup_or_insert(fingerprint_of(A, cfg, opts, nullptr), A, cfg, opts,
+                          nullptr);
+}
+
+void SessionCache::evict_over_budget() {
+  while (bytes_ > byte_budget_ && entries_.size() > 1) {
+    bytes_ -= entries_.back()->bytes;
+    entries_.pop_back();  // holders of aliased shared_ptrs keep it alive
+    ++stats_.evictions;
+  }
+}
+
+void SessionCache::clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace ddmgnn::core

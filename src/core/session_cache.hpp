@@ -1,0 +1,93 @@
+// Operator-keyed cache of prepared SolverSessions. Services that re-solve
+// families of problems (parameter sweeps, repeated time-stepping campaigns,
+// per-tenant operators) hit the same operators again and again — a cache hit
+// returns the already-prepared session and skips the entire setup phase
+// (partitioning, factorizations, DSS graph construction, coarse space),
+// which bench_setup_amortization shows is many solves' worth of work.
+//
+// Keying: a 64-bit FNV-1a fingerprint over the operator's CSR arrays, the
+// extra algebraic structure (dirichlet mask, coordinates) and every
+// HybridConfig field that influences the prepared state or solve behavior.
+// Fingerprint matches are verified by exact comparison before a hit is
+// declared, so hash collisions degrade to misses, never to wrong sessions.
+//
+// Ownership: each entry owns a private copy of its operator (and mesh /
+// problem for the mesh-keyed overload), so cached sessions never dangle when
+// the caller's matrix goes out of scope. Returned shared_ptrs alias the
+// entry — an evicted-but-still-held session stays fully usable. The one
+// reference an entry does NOT own is cfg.model: trained models are large and
+// shared, so GNN-preconditioned entries require the model to outlive the
+// cache (the model pointer is part of the fingerprint).
+//
+// Sharing contract: every hit hands out the SAME session object, mutably —
+// deliberately, so solve-time toggles (set_method, set_block_multi_rhs) work
+// on cached sessions for A/B comparisons. Those toggles affect every holder,
+// and calling setup() on a cache-returned session is forbidden: it would
+// re-key the shared prepared state out from under the entry's stored
+// fingerprint (and can leave the session pointing at a caller-owned matrix
+// the cache does not keep alive). Re-key through the cache instead —
+// get_or_setup with the new operator/config. Single-threaded by design.
+//
+// Eviction: least-recently-used by a byte budget, measured with
+// SolverSession::memory_bytes() plus the entry's owned copies. A single
+// entry larger than the whole budget is admitted (the alternative — refusing
+// to cache — silently re-pays setup forever) and becomes the first eviction
+// candidate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "core/solver_session.hpp"
+
+namespace ddmgnn::core {
+
+class SessionCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  explicit SessionCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// Mesh-keyed lookup: returns the prepared session for (prob, cfg),
+  /// running SolverSession::setup(mesh, prob, cfg) on a miss.
+  std::shared_ptr<SolverSession> get_or_setup(const mesh::Mesh& m,
+                                              const fem::PoissonProblem& prob,
+                                              const HybridConfig& cfg);
+
+  /// Matrix-keyed lookup for the algebraic path: returns the prepared
+  /// session for (A, cfg, opts), running setup(A, cfg, opts) on a miss.
+  std::shared_ptr<SolverSession> get_or_setup(
+      const la::CsrMatrix& A, const HybridConfig& cfg,
+      const AlgebraicOptions& opts = {});
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t size_bytes() const { return bytes_; }
+  std::size_t byte_budget() const { return byte_budget_; }
+  void clear();
+
+ private:
+  struct Entry;
+
+  std::shared_ptr<SolverSession> lookup_or_insert(
+      std::uint64_t fingerprint, const la::CsrMatrix& A,
+      const HybridConfig& cfg, const AlgebraicOptions& opts,
+      const mesh::Mesh* m);
+  void evict_over_budget();
+
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+  /// MRU-first list; linear fingerprint scan (caches hold a handful of
+  /// operators, and a hit's exact-verify already touches the arrays).
+  std::list<std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace ddmgnn::core

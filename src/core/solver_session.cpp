@@ -4,22 +4,33 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "gnn/graph.hpp"
+#include "gnn/spectral_coords.hpp"
 #include "la/multivector.hpp"
 #include "precond/registry.hpp"
 #include "solver/block_krylov.hpp"
 
 namespace ddmgnn::core {
 
-void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
-                          const HybridConfig& cfg) {
-  // Reset first so ANY setup failure — including an unknown name below —
-  // leaves the session not-ready rather than keyed to a stale problem.
+void SolverSession::reset_setup_state() {
+  // Reset first so ANY setup failure — including an unknown name — leaves
+  // the session not-ready rather than keyed to a stale problem.
   m_inv_.reset();
   dec_.reset();
   a_ = nullptr;
   num_subdomains_ = 0;
   setup_seconds_ = 0.0;
+}
+
+void SolverSession::setup_from_graph(const la::CsrMatrix& A,
+                                     const HybridConfig& cfg,
+                                     std::span<const la::Offset> adj_ptr,
+                                     std::span<const la::Index> adj,
+                                     const AlgebraicOptions& opts) {
+  reset_setup_state();
   cfg_ = cfg;
+  DDMGNN_CHECK(adj_ptr.size() == static_cast<std::size_t>(A.rows()) + 1,
+               "setup_from_graph: adjacency does not match the operator");
 
   // Resolves aliases and throws (listing the registered names) on unknowns.
   const std::string& canonical =
@@ -29,22 +40,29 @@ void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
   Timer setup_timer;
   if (traits.needs_decomposition) {
     dec_ = std::make_unique<partition::Decomposition>(
-        partition::decompose_target_size(m.adj_ptr(), m.adj(),
+        partition::decompose_target_size(adj_ptr, adj,
                                          cfg.subdomain_target_nodes,
                                          cfg.overlap, cfg.seed));
     num_subdomains_ = dec_->num_parts;
   }
   precond::PrecondContext ctx;
-  ctx.A = &prob.A;
+  ctx.A = &A;
   ctx.dec = dec_.get();
-  ctx.mesh = &m;
-  ctx.dirichlet = prob.dirichlet;
+  ctx.dirichlet = opts.dirichlet;
+  ctx.coords = opts.coordinates;
   ctx.model = cfg.model;
   ctx.gnn_refinement_steps = cfg.gnn_refinement_steps;
   ctx.gnn_normalize = cfg.gnn_normalize;
+  // The message-graph pattern is only materialized for geometry consumers
+  // (the GNN entries); the factories copy it, so it can live on this stack.
+  la::CsrMatrix pattern;
+  if (traits.needs_geometry) {
+    pattern = gnn::adjacency_pattern(adj_ptr, adj);
+    ctx.edge_pattern = &pattern;
+  }
   m_inv_ = precond::make_preconditioner(canonical, ctx);
-  a_ = &prob.A;
-  setup_seconds_ = setup_timer.seconds();
+  a_ = &A;
+  setup_seconds_ += setup_timer.seconds();
 
   if (cfg.method.has_value()) {
     method_ = *cfg.method;
@@ -54,6 +72,61 @@ void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
     method_ = m_inv_->is_symmetric() ? solver::KrylovMethod::kPcg
                                      : solver::KrylovMethod::kFpcg;
   }
+}
+
+void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
+                          const HybridConfig& cfg) {
+  AlgebraicOptions opts;
+  opts.dirichlet = prob.dirichlet;
+  opts.coordinates = m.points();
+  setup_from_graph(prob.A, cfg, m.adj_ptr(), m.adj(), opts);
+}
+
+void SolverSession::setup(const la::CsrMatrix& A, const HybridConfig& cfg,
+                          const AlgebraicOptions& opts) {
+  reset_setup_state();
+  DDMGNN_CHECK(A.rows() == A.cols(),
+               "setup(A): operator must be square, got " +
+                   std::to_string(A.rows()) + "x" + std::to_string(A.cols()));
+  const std::string& canonical =
+      precond::PrecondRegistry::instance().canonical(cfg.preconditioner);
+  const precond::PrecondTraits traits = precond::preconditioner_traits(canonical);
+  DDMGNN_CHECK(
+      traits.supports_algebraic,
+      "preconditioner '" + canonical +
+          "' is registered without algebraic support and cannot be built "
+          "from a bare matrix; use setup(mesh, prob, cfg) or register an "
+          "algebraic-capable variant");
+  const auto n = static_cast<std::size_t>(A.rows());
+  DDMGNN_CHECK(opts.dirichlet.empty() || opts.dirichlet.size() == n,
+               "setup(A): dirichlet mask must have one entry per row");
+  DDMGNN_CHECK(opts.coordinates.empty() || opts.coordinates.size() == n,
+               "setup(A): coordinates must have one point per row");
+
+  // Graph derivation is part of the setup cost the session reports — and is
+  // skipped entirely for preconditioners that consult neither the
+  // decomposition nor geometry (none/jacobi/ic0), where it could dwarf the
+  // actual build.
+  Timer derive_timer;
+  partition::AdjacencyGraph graph;
+  if (traits.needs_decomposition || traits.needs_geometry) {
+    graph = partition::matrix_adjacency(A);
+  } else {
+    graph.ptr.assign(static_cast<std::size_t>(A.rows()) + 1, 0);  // edgeless
+  }
+  std::span<const mesh::Point2> coords = opts.coordinates;
+  std::vector<mesh::Point2> synthetic;
+  if (traits.needs_geometry && coords.empty()) {
+    synthetic = gnn::spectral_coordinates(graph.ptr, graph.idx,
+                                          /*smoothing_steps=*/30, cfg.seed);
+    coords = synthetic;
+  }
+  const double derive_seconds = derive_timer.seconds();
+  AlgebraicOptions derived;
+  derived.dirichlet = opts.dirichlet;
+  derived.coordinates = coords;
+  setup_from_graph(A, cfg, graph.ptr, graph.idx, derived);
+  setup_seconds_ += derive_seconds;
 }
 
 solver::SolveResult SolverSession::solve(std::span<const double> b,
@@ -104,6 +177,27 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
     results.push_back(solve(rhs[i], xs[i]));
   }
   return results;
+}
+
+std::size_t SolverSession::memory_bytes() const {
+  if (!ready()) return 0;
+  // Operator CSR views (shared with the caller, but the cache's copy owns
+  // them) ...
+  std::size_t bytes =
+      static_cast<std::size_t>(a_->rows() + 1) * sizeof(la::Offset) +
+      static_cast<std::size_t>(a_->nnz()) *
+          (sizeof(la::Index) + sizeof(double));
+  // ... plus decomposition node lists and a dense-factor-style bound on the
+  // per-subdomain solver state (Cholesky envelopes / DSS topologies).
+  if (dec_) {
+    bytes += static_cast<std::size_t>(dec_->num_nodes()) *
+             (sizeof(la::Index) + sizeof(double));
+    for (const auto& nodes : dec_->subdomains) {
+      bytes += nodes.size() * sizeof(la::Index);
+      bytes += nodes.size() * nodes.size() * sizeof(double);
+    }
+  }
+  return bytes;
 }
 
 const precond::Preconditioner& SolverSession::preconditioner() const {

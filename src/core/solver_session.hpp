@@ -13,6 +13,15 @@
 //   session.solve(prob.b, x);                  // Krylov iterations only
 //   session.solve(next_rhs, x);                // reuses ALL setup state
 //
+// Non-FEM callers skip the mesh entirely — the DDM-GNN preconditioner
+// operates on the assembled operator, so any sparse SPD system can be set up
+// matrix-first:
+//
+//   session.setup(A, cfg);                     // decomposition from the
+//                                              // matrix graph; GNN features
+//                                              // from synthetic coordinates
+//   session.setup(A, cfg, {dirichlet, coords});// with known extra structure
+//
 // The preconditioner is chosen by name through the string-keyed registry
 // (src/precond/registry.hpp) and the Krylov method by the KrylovMethod
 // selector, so both are configuration data rather than call-site code. The
@@ -65,12 +74,26 @@ struct HybridConfig {
   bool block_multi_rhs = true;
 };
 
+/// Optional extra structure for the matrix-first setup path. Everything is
+/// copied where needed during setup — the spans need only live through the
+/// setup() call.
+struct AlgebraicOptions {
+  /// Dirichlet mask (1 for identity/constrained rows), size = A.rows().
+  /// Empty means no constrained rows.
+  std::span<const std::uint8_t> dirichlet;
+  /// Node positions for the GNN graph features, size = A.rows(). Empty lets
+  /// the session synthesize spectral coordinates from the matrix graph
+  /// (gnn::spectral_coordinates) for preconditioners that need geometry.
+  std::span<const mesh::Point2> coordinates;
+};
+
 /// A prepared solver for one operator. setup() may be called again to re-key
 /// the session to a new problem; solve() requires a prior setup().
 ///
-/// Lifetimes: the session keeps references to `prob.A` and, for the GNN
-/// preconditioners, to `cfg.model` — both must outlive the session's solves.
-/// Mesh geometry and Dirichlet flags are copied where needed during setup.
+/// Lifetimes: the session keeps references to the operator (`prob.A` or the
+/// bare `A`) and, for the GNN preconditioners, to `cfg.model` — both must
+/// outlive the session's solves. Mesh geometry, synthetic coordinates and
+/// Dirichlet flags are copied where needed during setup.
 class SolverSession {
  public:
   SolverSession() = default;
@@ -87,6 +110,30 @@ class SolverSession {
   /// model).
   void setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
              const HybridConfig& cfg);
+
+  /// Matrix-first (algebraic) setup: build the same prepared state from a
+  /// bare assembled operator. The domain decomposition comes from the
+  /// symmetrized stored pattern of `A` (partition::matrix_adjacency) and,
+  /// for the GNN preconditioners, graph features come from
+  /// `opts.coordinates` or — when empty — synthetic spectral coordinates of
+  /// that same graph. Throws ContractError for unknown names, for registry
+  /// entries whose traits declare no algebraic support
+  /// (PrecondTraits::supports_algebraic == false), for non-square `A`, and
+  /// for mis-sized `opts` spans. `A` must outlive the session's solves.
+  void setup(const la::CsrMatrix& A, const HybridConfig& cfg,
+             const AlgebraicOptions& opts = {});
+
+  /// Graph-parameterized form both public paths delegate to: prepare for `A`
+  /// using an explicit decomposition/message graph (mesh::Mesh CSR adjacency
+  /// layout). This is the seam for callers that know a better graph than the
+  /// matrix pattern (the mesh path passes the mesh adjacency; core's
+  /// SessionCache re-keys mesh setups onto its owned operator copies through
+  /// it). No algebraic-support gate applies — providing the graph explicitly
+  /// is the mesh-equivalent. Spans are not retained beyond the call.
+  void setup_from_graph(const la::CsrMatrix& A, const HybridConfig& cfg,
+                        std::span<const la::Offset> adj_ptr,
+                        std::span<const la::Index> adj,
+                        const AlgebraicOptions& opts = {});
 
   /// Solve A x = b with the prepared preconditioner. `x` is the initial
   /// guess on entry (callers typically zero it) and the solution on exit.
@@ -123,8 +170,16 @@ class SolverSession {
   void set_block_multi_rhs(bool enabled) { cfg_.block_multi_rhs = enabled; }
   const precond::Preconditioner& preconditioner() const;
   const HybridConfig& config() const { return cfg_; }
+  /// Rough bytes held by the prepared state: the operator's CSR views, the
+  /// decomposition node lists, and a dense-factor-style bound on the local
+  /// solver storage (Σ |Ω_i|² doubles when a decomposition exists — an upper
+  /// estimate for the GNN variants). Used by core::SessionCache's byte
+  /// budget; 0 before setup().
+  std::size_t memory_bytes() const;
 
  private:
+  void reset_setup_state();
+
   HybridConfig cfg_;
   solver::KrylovMethod method_ = solver::KrylovMethod::kPcg;
   const la::CsrMatrix* a_ = nullptr;

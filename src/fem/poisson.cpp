@@ -9,7 +9,8 @@
 namespace ddmgnn::fem {
 
 PoissonProblem assemble_poisson(const Mesh& m, const ScalarField& f,
-                                const ScalarField& g) {
+                                const ScalarField& g,
+                                const AssembleOptions& opts) {
   const Index n = m.num_nodes();
   const auto pts = m.points();
   PoissonProblem out;
@@ -46,18 +47,21 @@ PoissonProblem assemble_poisson(const Mesh& m, const ScalarField& f,
       if (!out.dirichlet[ia]) out.b[ia] += (area / 3.0) * f(pts[ia]);
     }
     // Element stiffness K_ab = area · (∇φ_a · ∇φ_b), folded through the
-    // symmetric Dirichlet elimination.
+    // symmetric Dirichlet elimination. Eliminated couplings are either
+    // dropped (default) or kept as stored zeros (keep_eliminated_pattern).
     for (int a = 0; a < 3; ++a) {
       const Index ia = tri[a];
-      if (out.dirichlet[ia]) continue;  // row eliminated
       for (int bidx = 0; bidx < 3; ++bidx) {
         const Index ib = tri[bidx];
         const double k = area * grad[a].dot(grad[bidx]);
-        if (out.dirichlet[ib]) {
-          out.b[ia] -= k * gval[ib];  // known value moves to the rhs
-        } else {
+        if (!out.dirichlet[ia] && !out.dirichlet[ib]) {
           coo.add(ia, ib, k);
+          continue;
         }
+        if (!out.dirichlet[ia] && out.dirichlet[ib]) {
+          out.b[ia] -= k * gval[ib];  // known value moves to the rhs
+        }
+        if (opts.keep_eliminated_pattern) coo.add(ia, ib, 0.0);
       }
     }
   }

@@ -32,9 +32,21 @@ struct PoissonProblem {
   std::vector<std::uint8_t> dirichlet;
 };
 
+struct AssembleOptions {
+  /// Keep the couplings removed by the symmetric Dirichlet elimination as
+  /// explicitly stored zeros. The operator is numerically unchanged (matrix
+  /// action, solutions and factorizations of the stored values are
+  /// identical), but its stored pattern then equals the full mesh adjacency —
+  /// which is what lets the matrix-first setup path
+  /// (SolverSession::setup(A, cfg)) reconstruct the exact mesh graph from
+  /// the operator alone.
+  bool keep_eliminated_pattern = false;
+};
+
 /// Assemble stiffness + load for (f, g) on `m`.
 PoissonProblem assemble_poisson(const Mesh& m, const ScalarField& f,
-                                const ScalarField& g);
+                                const ScalarField& g,
+                                const AssembleOptions& opts = {});
 
 /// Random quadratic polynomial data of §IV-A (Eqs. 24–25):
 ///   f(x,y) = r1 (x-1)² + r2 y² + r3

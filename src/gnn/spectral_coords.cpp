@@ -1,0 +1,109 @@
+#include "gnn/spectral_coords.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ddmgnn::gnn {
+
+using la::Offset;
+
+namespace {
+
+/// Remove the component of `v` along `u` (if `u` is non-degenerate).
+void orthogonalize(std::vector<double>& v, const std::vector<double>& u) {
+  double vu = 0.0, uu = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    vu += v[i] * u[i];
+    uu += u[i] * u[i];
+  }
+  if (uu <= 0.0) return;
+  const double c = vu / uu;
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] -= c * u[i];
+}
+
+void center_and_normalize(std::vector<double>& v) {
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double norm = 0.0;
+  for (double& x : v) {
+    x -= mean;
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+}
+
+}  // namespace
+
+std::vector<mesh::Point2> spectral_coordinates(
+    std::span<const la::Offset> adj_ptr, std::span<const la::Index> adj,
+    int smoothing_steps, std::uint64_t seed) {
+  DDMGNN_CHECK(!adj_ptr.empty(), "spectral_coordinates: empty adjacency");
+  const auto n = static_cast<la::Index>(adj_ptr.size()) - 1;
+  std::vector<mesh::Point2> coords(n);
+  if (n == 0) return coords;
+
+  Rng rng(seed ^ 0xC6EF372FE94F82BEull);
+  std::vector<double> x(n), y(n), tmp(n);
+  for (la::Index i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-0.5, 0.5);
+    y[i] = rng.uniform(-0.5, 0.5);
+  }
+
+  // Power iteration on 1/2 (I + D⁻¹W): converges toward the low-frequency
+  // (smooth) adjacency eigenvectors; orthogonalizing against constants — and
+  // y additionally against x — spreads the layout over two dimensions
+  // instead of collapsing both axes onto the Fiedler-like direction.
+  auto smooth = [&](std::vector<double>& v) {
+    for (la::Index i = 0; i < n; ++i) {
+      const Offset deg = adj_ptr[i + 1] - adj_ptr[i];
+      if (deg == 0) {
+        tmp[i] = v[i];  // isolated node: hold position
+        continue;
+      }
+      double acc = 0.0;
+      for (Offset e = adj_ptr[i]; e < adj_ptr[i + 1]; ++e) acc += v[adj[e]];
+      tmp[i] = 0.5 * (v[i] + acc / static_cast<double>(deg));
+    }
+    v.swap(tmp);
+  };
+  for (int step = 0; step < smoothing_steps; ++step) {
+    center_and_normalize(x);
+    smooth(x);
+    center_and_normalize(y);
+    orthogonalize(y, x);
+    smooth(y);
+  }
+  center_and_normalize(x);
+  center_and_normalize(y);
+  orthogonalize(y, x);
+  center_and_normalize(y);
+
+  // Rescale so the mean edge length matches the h ≈ 1/sqrt(n) element size
+  // of a unit-area mesh — the geometry scale the DSS models train on.
+  double edge_len = 0.0;
+  long num_edges = 0;
+  for (la::Index i = 0; i < n; ++i) {
+    for (Offset e = adj_ptr[i]; e < adj_ptr[i + 1]; ++e) {
+      const la::Index j = adj[e];
+      edge_len += std::hypot(x[i] - x[j], y[i] - y[j]);
+      ++num_edges;
+    }
+  }
+  double scale = 1.0;
+  if (num_edges > 0 && edge_len > 0.0) {
+    const double target_h = 1.0 / std::sqrt(static_cast<double>(n));
+    scale = target_h / (edge_len / static_cast<double>(num_edges));
+  }
+  for (la::Index i = 0; i < n; ++i) {
+    coords[i] = {x[i] * scale, y[i] * scale};
+  }
+  return coords;
+}
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,29 @@
+// Synthetic node positions for meshless operators. The DSS edge features are
+// relative positions d_jl = x_l − x_j (Eq. 17 variant) — when a system
+// arrives as a bare matrix there is no geometry to take them from, so the
+// algebraic setup path fabricates one: a spectral graph drawing of the
+// operator's adjacency (power iteration toward the low-frequency adjacency
+// eigenvectors, the classical Hall/Koren layout). Neighboring nodes land
+// close together and the coordinates are rescaled so typical edge lengths
+// match the ~1/sqrt(n) element size the models were trained on, keeping the
+// learned edge-feature statistics in distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "mesh/geometry.hpp"
+
+namespace ddmgnn::gnn {
+
+/// Deterministic 2-D spectral layout of the graph `adj_ptr/adj` (mesh::Mesh
+/// CSR adjacency layout). `smoothing_steps` power-iteration/smoothing rounds
+/// refine a seeded random start; isolated nodes keep their random position
+/// (they exchange no messages, so their coordinates are never read).
+std::vector<mesh::Point2> spectral_coordinates(
+    std::span<const la::Offset> adj_ptr, std::span<const la::Index> adj,
+    int smoothing_steps = 30, std::uint64_t seed = 0);
+
+}  // namespace ddmgnn::gnn

@@ -1,0 +1,362 @@
+#include "la/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ddmgnn::la::mm {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, long line,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "MatrixMarket: " << path;
+  if (line > 0) os << ":" << line << " (line " << line << ")";
+  os << ": " << msg;
+  throw ContractError(os.str());
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string t;
+  while (is >> t) out.push_back(std::move(t));
+  return out;
+}
+
+/// Stream over non-comment lines that tracks 1-based line numbers for
+/// diagnostics. Blank lines inside the body are rejected by callers that
+/// expect data; trailing blank lines are tolerated.
+struct LineReader {
+  std::ifstream in;
+  std::string path;
+  long line_no = 0;
+
+  explicit LineReader(const std::string& p) : in(p), path(p) {
+    DDMGNN_CHECK(in.good(), "MatrixMarket: cannot open '" + p + "'");
+  }
+
+  /// Next line verbatim (including comments); false at EOF.
+  bool next_raw(std::string& out) {
+    if (!std::getline(in, out)) return false;
+    ++line_no;
+    if (!out.empty() && out.back() == '\r') out.pop_back();  // CRLF files
+    return true;
+  }
+
+  /// Next line that is neither a %-comment nor blank; false at EOF.
+  bool next_data(std::string& out) {
+    while (next_raw(out)) {
+      const auto first = out.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (out[first] == '%') continue;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct Banner {
+  bool coordinate = false;  // else array
+  bool symmetric = false;   // else general
+};
+
+/// Parse and validate the `%%MatrixMarket object format field symmetry`
+/// banner (case-insensitive per the spec).
+Banner read_banner(LineReader& r) {
+  std::string line;
+  if (!r.next_raw(line)) fail(r.path, 0, "empty file, expected a banner");
+  const auto toks = tokens_of(line);
+  if (toks.size() != 5 || lower(toks[0]) != "%%matrixmarket") {
+    fail(r.path, r.line_no,
+         "bad banner '" + line +
+             "'; expected '%%MatrixMarket matrix coordinate|array "
+             "real|integer general|symmetric'");
+  }
+  if (lower(toks[1]) != "matrix") {
+    fail(r.path, r.line_no, "unsupported object '" + toks[1] +
+                                "'; only 'matrix' is supported");
+  }
+  Banner b;
+  const std::string format = lower(toks[2]);
+  if (format == "coordinate") {
+    b.coordinate = true;
+  } else if (format == "array") {
+    b.coordinate = false;
+  } else {
+    fail(r.path, r.line_no, "unsupported format '" + toks[2] +
+                                "'; expected coordinate or array");
+  }
+  const std::string field = lower(toks[3]);
+  if (field != "real" && field != "integer") {
+    fail(r.path, r.line_no,
+         "unsupported field '" + toks[3] +
+             "'; only real and integer values are supported (pattern and "
+             "complex matrices carry no usable values for a solver)");
+  }
+  const std::string symmetry = lower(toks[4]);
+  if (symmetry == "general") {
+    b.symmetric = false;
+  } else if (symmetry == "symmetric") {
+    b.symmetric = true;
+  } else {
+    fail(r.path, r.line_no,
+         "unsupported symmetry '" + toks[4] +
+             "'; expected general or symmetric");
+  }
+  return b;
+}
+
+/// from_chars rejects an explicit leading '+', which the reference
+/// MatrixMarket reader (fscanf) accepts — strip it for spec parity.
+const char* skip_plus(const std::string& tok) {
+  return (tok.size() > 1 && tok[0] == '+') ? tok.data() + 1 : tok.data();
+}
+
+long parse_long(const std::string& tok, LineReader& r, const char* what) {
+  long v = 0;
+  const char* first = skip_plus(tok);
+  const auto res = std::from_chars(first, tok.data() + tok.size(), v);
+  if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+    fail(r.path, r.line_no,
+         std::string("cannot parse ") + what + " from '" + tok + "'");
+  }
+  return v;
+}
+
+double parse_double(const std::string& tok, LineReader& r, const char* what) {
+  double v = 0.0;
+  const char* first = skip_plus(tok);
+  const auto res = std::from_chars(first, tok.data() + tok.size(), v);
+  if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+    fail(r.path, r.line_no,
+         std::string("cannot parse ") + what + " from '" + tok + "'");
+  }
+  return v;
+}
+
+/// Shortest decimal that round-trips the double exactly.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+CsrMatrix read_matrix(const std::string& path) {
+  LineReader r(path);
+  const Banner banner = read_banner(r);
+  if (!banner.coordinate) {
+    fail(r.path, r.line_no,
+         "array (dense) format where a sparse matrix was expected; use "
+         "read_vector for array files");
+  }
+
+  std::string line;
+  if (!r.next_data(line)) fail(r.path, r.line_no, "missing size line");
+  const auto size_toks = tokens_of(line);
+  if (size_toks.size() != 3) {
+    fail(r.path, r.line_no,
+         "size line must be 'rows cols nnz', got '" + line + "'");
+  }
+  const long rows = parse_long(size_toks[0], r, "row count");
+  const long cols = parse_long(size_toks[1], r, "column count");
+  const long nnz = parse_long(size_toks[2], r, "entry count");
+  if (rows <= 0 || cols <= 0 || nnz < 0) {
+    fail(r.path, r.line_no, "non-positive dimensions in size line");
+  }
+  // Index is 32-bit: reject rather than silently wrap in the narrowing casts.
+  constexpr long kMaxIndex = std::numeric_limits<Index>::max();
+  if (rows > kMaxIndex || cols > kMaxIndex) {
+    fail(r.path, r.line_no,
+         "dimensions exceed the 32-bit index limit (" +
+             std::to_string(kMaxIndex) + ")");
+  }
+  if (banner.symmetric && rows != cols) {
+    fail(r.path, r.line_no, "symmetric matrix must be square");
+  }
+  // Bound nnz before trusting it for allocation: a corrupt/hostile count
+  // must produce a diagnostic, not a bad_alloc/length_error abort. The dense
+  // bound cannot overflow (rows, cols <= 2^31).
+  if (nnz > rows * cols) {
+    fail(r.path, r.line_no,
+         "entry count " + std::to_string(nnz) +
+             " exceeds rows*cols = " + std::to_string(rows * cols));
+  }
+
+  CooBuilder coo(static_cast<Index>(rows), static_cast<Index>(cols));
+  // Reserve is an optimization only — cap it so even a large (but
+  // dense-bounded) declared count cannot front-load gigabytes before the
+  // truncation check has seen a single entry line.
+  coo.reserve(static_cast<std::size_t>(
+      std::min<long>(banner.symmetric ? 2 * nnz : nnz, 1L << 22)));
+  for (long k = 0; k < nnz; ++k) {
+    if (!r.next_data(line)) {
+      fail(r.path, r.line_no,
+           "truncated file: expected " + std::to_string(nnz) +
+               " entries, got " + std::to_string(k));
+    }
+    const auto toks = tokens_of(line);
+    if (toks.size() != 3) {
+      fail(r.path, r.line_no,
+           "entry must be 'i j value', got '" + line + "'");
+    }
+    const long i = parse_long(toks[0], r, "row index");
+    const long j = parse_long(toks[1], r, "column index");
+    const double v = parse_double(toks[2], r, "value");
+    if (i < 1 || i > rows) {
+      fail(r.path, r.line_no,
+           "row index " + std::to_string(i) + " out of range [1, " +
+               std::to_string(rows) + "]");
+    }
+    if (j < 1 || j > cols) {
+      fail(r.path, r.line_no,
+           "column index " + std::to_string(j) + " out of range [1, " +
+               std::to_string(cols) + "]");
+    }
+    if (banner.symmetric && j > i) {
+      fail(r.path, r.line_no,
+           "symmetric files store only the lower triangle, but entry (" +
+               std::to_string(i) + ", " + std::to_string(j) +
+               ") lies above the diagonal");
+    }
+    coo.add(static_cast<Index>(i - 1), static_cast<Index>(j - 1), v);
+    if (banner.symmetric && i != j) {
+      coo.add(static_cast<Index>(j - 1), static_cast<Index>(i - 1), v);
+    }
+  }
+  if (r.next_data(line)) {
+    fail(r.path, r.line_no,
+         "trailing data after the declared " + std::to_string(nnz) +
+             " entries: '" + line + "'");
+  }
+  return std::move(coo).build();
+}
+
+void write_matrix(const std::string& path, const CsrMatrix& A,
+                  Symmetry symmetry) {
+  const bool sym = symmetry == Symmetry::kSymmetric;
+  if (sym) {
+    DDMGNN_CHECK(A.rows() == A.cols() && A.symmetry_defect() == 0.0,
+                 "write_matrix: Symmetry::kSymmetric requires an exactly "
+                 "symmetric matrix");
+  }
+  const auto rp = A.row_ptr();
+  const auto ci = A.col_idx();
+  const auto vals = A.values();
+  Offset count = 0;
+  for (Index i = 0; i < A.rows(); ++i) {
+    for (Offset e = rp[i]; e < rp[i + 1]; ++e) {
+      if (!sym || ci[e] <= i) ++count;
+    }
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(count) * 24 + 128);
+  out += "%%MatrixMarket matrix coordinate real ";
+  out += sym ? "symmetric\n" : "general\n";
+  out += std::to_string(A.rows());
+  out += ' ';
+  out += std::to_string(A.cols());
+  out += ' ';
+  out += std::to_string(count);
+  out += '\n';
+  for (Index i = 0; i < A.rows(); ++i) {
+    for (Offset e = rp[i]; e < rp[i + 1]; ++e) {
+      if (sym && ci[e] > i) continue;
+      out += std::to_string(i + 1);
+      out += ' ';
+      out += std::to_string(ci[e] + 1);
+      out += ' ';
+      append_double(out, vals[e]);
+      out += '\n';
+    }
+  }
+  std::ofstream f(path);
+  DDMGNN_CHECK(f.good(), "write_matrix: cannot open '" + path + "'");
+  f << out;
+  DDMGNN_CHECK(f.good(), "write_matrix: write to '" + path + "' failed");
+}
+
+std::vector<double> read_vector(const std::string& path) {
+  LineReader r(path);
+  const Banner banner = read_banner(r);
+  if (banner.coordinate) {
+    fail(r.path, r.line_no,
+         "coordinate (sparse) format where a dense vector was expected; use "
+         "read_matrix for coordinate files");
+  }
+  if (banner.symmetric) {
+    fail(r.path, r.line_no, "a vector cannot be declared symmetric");
+  }
+
+  std::string line;
+  if (!r.next_data(line)) fail(r.path, r.line_no, "missing size line");
+  const auto size_toks = tokens_of(line);
+  if (size_toks.size() != 2) {
+    fail(r.path, r.line_no,
+         "array size line must be 'rows cols', got '" + line + "'");
+  }
+  const long rows = parse_long(size_toks[0], r, "row count");
+  const long cols = parse_long(size_toks[1], r, "column count");
+  if (rows <= 0) fail(r.path, r.line_no, "non-positive row count");
+  if (rows > std::numeric_limits<Index>::max()) {
+    fail(r.path, r.line_no, "row count exceeds the 32-bit index limit");
+  }
+  if (cols != 1) {
+    fail(r.path, r.line_no, "expected a single-column vector, got " +
+                                std::to_string(cols) + " columns");
+  }
+
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(rows));
+  for (long k = 0; k < rows; ++k) {
+    if (!r.next_data(line)) {
+      fail(r.path, r.line_no,
+           "truncated file: expected " + std::to_string(rows) +
+               " values, got " + std::to_string(k));
+    }
+    const auto toks = tokens_of(line);
+    if (toks.size() != 1) {
+      fail(r.path, r.line_no,
+           "array entries are one value per line, got '" + line + "'");
+    }
+    v.push_back(parse_double(toks[0], r, "value"));
+  }
+  if (r.next_data(line)) {
+    fail(r.path, r.line_no,
+         "trailing data after the declared " + std::to_string(rows) +
+             " values: '" + line + "'");
+  }
+  return v;
+}
+
+void write_vector(const std::string& path, std::span<const double> v) {
+  std::string out;
+  out.reserve(v.size() * 24 + 64);
+  out += "%%MatrixMarket matrix array real general\n";
+  out += std::to_string(v.size());
+  out += " 1\n";
+  for (const double x : v) {
+    append_double(out, x);
+    out += '\n';
+  }
+  std::ofstream f(path);
+  DDMGNN_CHECK(f.good(), "write_vector: cannot open '" + path + "'");
+  f << out;
+  DDMGNN_CHECK(f.good(), "write_vector: write to '" + path + "' failed");
+}
+
+}  // namespace ddmgnn::la::mm

@@ -1,0 +1,47 @@
+// MatrixMarket exchange-format I/O — the lingua franca of sparse-matrix
+// collections (SuiteSparse, Florida), and how operators the repository never
+// assembled reach the matrix-first solver path (`solve_poisson --matrix`,
+// bench `--matrix` modes, examples/algebraic_solve).
+//
+// Supported: `matrix coordinate real|integer general|symmetric` for sparse
+// matrices and `matrix array real|integer general` (single column) for
+// right-hand-side vectors. Readers are strict: malformed banners, bad
+// counts, out-of-range 1-based indices, non-numeric tokens and truncated
+// files all raise ContractError diagnostics naming the file and the
+// offending line instead of crashing or silently mis-reading. Writers emit
+// shortest round-trip decimal (std::to_chars), so write→read reproduces
+// every double bit-exactly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace ddmgnn::la::mm {
+
+enum class Symmetry {
+  kGeneral,
+  /// Only the lower triangle is stored; readers mirror it. Writers require
+  /// the matrix to be exactly symmetric (symmetry_defect() == 0).
+  kSymmetric,
+};
+
+/// Read a sparse matrix from a MatrixMarket coordinate file. Symmetric files
+/// are expanded to the full (mirrored) pattern; duplicate entries are summed
+/// (CooBuilder semantics). Throws ContractError with file:line diagnostics.
+CsrMatrix read_matrix(const std::string& path);
+
+/// Write `A` as a coordinate file. With Symmetry::kSymmetric only the lower
+/// triangle is stored (and `A` must be exactly symmetric).
+void write_matrix(const std::string& path, const CsrMatrix& A,
+                  Symmetry symmetry = Symmetry::kGeneral);
+
+/// Read a dense vector from a MatrixMarket array file (n×1).
+std::vector<double> read_vector(const std::string& path);
+
+/// Write `v` as an n×1 array file.
+void write_vector(const std::string& path, std::span<const double> v);
+
+}  // namespace ddmgnn::la::mm

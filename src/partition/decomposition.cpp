@@ -102,6 +102,37 @@ std::vector<Index> pick_seeds(std::span<const Offset> adj_ptr,
 
 }  // namespace
 
+AdjacencyGraph matrix_adjacency(const la::CsrMatrix& A) {
+  DDMGNN_CHECK(A.rows() == A.cols(), "matrix_adjacency: matrix must be square");
+  const Index n = A.rows();
+  const auto rp = A.row_ptr();
+  const auto ci = A.col_idx();
+  // Union of the pattern with its transpose: collect both directions of every
+  // stored off-diagonal entry, then sort + dedup per row.
+  std::vector<std::pair<Index, Index>> edges;
+  edges.reserve(static_cast<std::size_t>(A.nnz()) * 2);
+  for (Index i = 0; i < n; ++i) {
+    for (Offset e = rp[i]; e < rp[i + 1]; ++e) {
+      const Index j = ci[e];
+      if (j == i) continue;
+      edges.emplace_back(i, j);
+      edges.emplace_back(j, i);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  AdjacencyGraph g;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.idx.reserve(edges.size());
+  for (const auto& [i, j] : edges) {
+    ++g.ptr[static_cast<std::size_t>(i) + 1];
+    g.idx.push_back(j);
+  }
+  for (Index i = 0; i < n; ++i) g.ptr[i + 1] += g.ptr[i];
+  return g;
+}
+
 Decomposition decompose(std::span<const Offset> adj_ptr,
                         std::span<const Index> adj, Index num_parts,
                         int overlap, std::uint64_t seed) {

@@ -46,6 +46,24 @@ struct Decomposition {
                         la::MultiVector& y) const;
 };
 
+/// Node-to-node adjacency in mesh::Mesh's CSR layout (sorted neighbor lists,
+/// no self loops) — the graph `decompose` walks. Derivable from a mesh or,
+/// for matrix-first callers, from an assembled operator's sparsity pattern.
+struct AdjacencyGraph {
+  std::vector<Offset> ptr;
+  std::vector<Index> idx;
+
+  Index num_nodes() const { return static_cast<Index>(ptr.size()) - 1; }
+};
+
+/// Adjacency of the (symmetrized) off-diagonal *stored* pattern of `A` — the
+/// algebraic stand-in for the mesh graph when only the operator is known.
+/// Explicitly stored zeros count as edges (assemblers that keep eliminated
+/// couplings as structural zeros thus reproduce the mesh graph exactly);
+/// identity rows with no stored couplings become isolated nodes, which
+/// `decompose` absorbs into the nearest part.
+AdjacencyGraph matrix_adjacency(const la::CsrMatrix& A);
+
 /// Partition the undirected graph given by CSR adjacency into `num_parts`
 /// parts and expand by `overlap` layers. `adj_ptr/adj` follow mesh::Mesh's
 /// adjacency layout.

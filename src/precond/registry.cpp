@@ -34,13 +34,25 @@ std::unique_ptr<SubdomainSolver> make_gnn_local(const PrecondContext& ctx,
                                                 std::string_view name) {
   DDMGNN_CHECK(ctx.model != nullptr,
                std::string(name) + " requires a trained DSS model");
-  DDMGNN_CHECK(ctx.mesh != nullptr,
-               std::string(name) + " requires the mesh geometry");
+  const la::CsrMatrix& A = require_matrix(ctx);
+  DDMGNN_CHECK(ctx.coords.size() == static_cast<std::size_t>(A.rows()),
+               std::string(name) +
+                   " requires node coordinates (mesh points or synthetic "
+                   "spectral coordinates), one per operator row");
+  DDMGNN_CHECK(ctx.edge_pattern != nullptr &&
+                   ctx.edge_pattern->rows() == A.rows(),
+               std::string(name) +
+                   " requires a message-graph pattern matching the operator");
+  std::vector<std::uint8_t> dirichlet(ctx.dirichlet.begin(),
+                                      ctx.dirichlet.end());
+  if (dirichlet.empty()) dirichlet.assign(A.rows(), 0);
   core::GnnSubdomainSolver::Options opts;
   opts.refinement_steps = ctx.gnn_refinement_steps;
   opts.normalize_input = ctx.gnn_normalize;
-  return std::make_unique<core::GnnSubdomainSolver>(*ctx.model, *ctx.mesh,
-                                                    ctx.dirichlet, opts);
+  return std::make_unique<core::GnnSubdomainSolver>(
+      *ctx.model,
+      std::vector<mesh::Point2>(ctx.coords.begin(), ctx.coords.end()),
+      std::move(dirichlet), *ctx.edge_pattern, opts);
 }
 
 std::unique_ptr<Preconditioner> make_schwarz(
@@ -78,7 +90,8 @@ PrecondRegistry::PrecondRegistry() {
   add("ddm-gnn",
       PrecondTraits{.needs_decomposition = true,
                     .needs_model = true,
-                    .symmetric = false},
+                    .symmetric = false,
+                    .needs_geometry = true},
       [](const PrecondContext& ctx) {
         return make_schwarz(ctx, "ddm-gnn", /*two_level=*/true,
                             make_gnn_local(ctx, "ddm-gnn"));
@@ -86,7 +99,8 @@ PrecondRegistry::PrecondRegistry() {
   add("ddm-gnn-1level",
       PrecondTraits{.needs_decomposition = true,
                     .needs_model = true,
-                    .symmetric = false},
+                    .symmetric = false,
+                    .needs_geometry = true},
       [](const PrecondContext& ctx) {
         return make_schwarz(ctx, "ddm-gnn-1level", /*two_level=*/false,
                             make_gnn_local(ctx, "ddm-gnn-1level"));

@@ -23,30 +23,38 @@
 #include "la/csr.hpp"
 #include "precond/preconditioner.hpp"
 
-// The GNN factories need the mesh and a trained model; forward-declared so
-// this header stays light (registry.cpp sees the full types).
-namespace ddmgnn::mesh {
-class Mesh;
-}
+// The GNN factories need a trained model; forward-declared so this header
+// stays light (registry.cpp sees the full types).
 namespace ddmgnn::gnn {
 class DssModel;
 }
 namespace ddmgnn::partition {
 struct Decomposition;
 }
+namespace ddmgnn::mesh {
+struct Point2;
+}
 
 namespace ddmgnn::precond {
 
 /// Everything a factory may consume. `A` is always required; the rest is
 /// optional and validated by the factory itself (with a readable error)
-/// according to its traits.
+/// according to its traits. Geometry is deliberately generic — node
+/// positions plus a message-graph pattern — so the same factories serve both
+/// the mesh setup path (mesh points + mesh adjacency) and the matrix-first
+/// path (synthetic spectral coordinates + matrix adjacency).
 struct PrecondContext {
   const la::CsrMatrix* A = nullptr;
   /// Overlapping decomposition — required when traits.needs_decomposition.
   /// Must outlive the returned preconditioner.
   const partition::Decomposition* dec = nullptr;
-  /// Mesh geometry + Dirichlet flags — required by the GNN factories.
-  const mesh::Mesh* mesh = nullptr;
+  /// Node positions (one per row of A) — required when traits.needs_geometry.
+  /// Copied by the factories; need only live through create().
+  std::span<const mesh::Point2> coords;
+  /// Message-graph pattern (mesh adjacency or matrix adjacency as a unit
+  /// CSR) — required when traits.needs_geometry. Copied by the factories.
+  const la::CsrMatrix* edge_pattern = nullptr;
+  /// Dirichlet flags (identity rows); empty means none.
   std::span<const std::uint8_t> dirichlet;
   /// Trained DSS model — required when traits.needs_model. Must outlive the
   /// returned preconditioner.
@@ -64,6 +72,13 @@ struct PrecondTraits {
   /// False for learned/nonlinear operators: plain PCG is then unsafe and the
   /// session defaults to flexible PCG.
   bool symmetric = true;
+  /// Consumes node coordinates + a message-graph pattern (the GNN entries).
+  bool needs_geometry = false;
+  /// Whether setup can run from a bare assembled operator
+  /// (SolverSession::setup(A, cfg)): everything the factory needs is either
+  /// in the matrix or synthesizable from its graph. Entries registered with
+  /// false are mesh-bound and the matrix-first path refuses them.
+  bool supports_algebraic = true;
 };
 
 using PrecondFactory =

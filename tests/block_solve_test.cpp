@@ -13,6 +13,7 @@
 #include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "gnn/dss_model.hpp"
+#include "gnn/graph.hpp"
 #include "la/multivector.hpp"
 #include "la/vector_ops.hpp"
 #include "mesh/generator.hpp"
@@ -130,11 +131,14 @@ TEST(ApplyMany, EqualsLoopedApplyForEveryRegistryEntry) {
   MultiVector r(n, s);
   for (Index j = 0; j < s; ++j) la::copy(random_vector(n, 50 + j), r.col(j));
 
+  const la::CsrMatrix mesh_pattern =
+      gnn::adjacency_pattern(m.adj_ptr(), m.adj());
   for (const std::string& name : precond::preconditioner_names()) {
     const auto& traits = precond::preconditioner_traits(name);
     precond::PrecondContext ctx;
     ctx.A = &prob.A;
-    ctx.mesh = &m;
+    ctx.coords = m.points();
+    ctx.edge_pattern = &mesh_pattern;
     ctx.dirichlet = prob.dirichlet;
     if (traits.needs_decomposition) ctx.dec = &dec;
     if (traits.needs_model) ctx.model = &model;

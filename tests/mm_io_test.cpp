@@ -1,0 +1,290 @@
+// Property tests for the MatrixMarket I/O layer: write→read round trips are
+// bit-exact for random CSR matrices (general and symmetric) and vectors, and
+// every malformed-input class (bad banner, bad counts, out-of-range indices,
+// non-numeric tokens, truncation, trailing data, wrong format family)
+// produces a ContractError diagnostic naming the offending line — never a
+// crash or a silently wrong matrix.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/mm_io.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using la::CsrMatrix;
+using la::Index;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ddmgnn_mm_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+/// Random sparse matrix with adversarial values: many magnitudes, negatives,
+/// non-representable decimals, exact zeros — the round trip must preserve
+/// every bit.
+CsrMatrix random_matrix(Index rows, Index cols, std::uint64_t seed,
+                        bool symmetric) {
+  Rng rng(seed);
+  la::CooBuilder coo(rows, cols);
+  const int entries = static_cast<int>(rows) * 4;
+  for (int k = 0; k < entries; ++k) {
+    const auto i = static_cast<Index>(rng.uniform_index(rows));
+    const auto j = static_cast<Index>(rng.uniform_index(cols));
+    double v = rng.uniform(-10.0, 10.0);
+    const double r = rng.uniform();
+    if (r < 0.1) {
+      v = 0.0;  // explicitly stored zero
+    } else if (r < 0.3) {
+      v *= std::pow(10.0, rng.uniform(-200.0, 200.0));  // extreme exponents
+    } else if (r < 0.4) {
+      v = 1.0 / 3.0 + v;  // non-terminating binary fractions
+    }
+    if (symmetric) {
+      coo.add(i, j, v);
+      if (i != j) coo.add(j, i, v);
+    } else {
+      coo.add(i, j, v);
+    }
+  }
+  for (Index d = 0; d < std::min(rows, cols); ++d) coo.add(d, d, 1.0);
+  return std::move(coo).build();
+}
+
+void expect_bit_equal(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  const auto arp = a.row_ptr(), brp = b.row_ptr();
+  for (std::size_t i = 0; i < arp.size(); ++i) ASSERT_EQ(arp[i], brp[i]) << i;
+  const auto aci = a.col_idx(), bci = b.col_idx();
+  for (std::size_t i = 0; i < aci.size(); ++i) ASSERT_EQ(aci[i], bci[i]) << i;
+  const auto av = a.values(), bv = b.values();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    // EQ on doubles: the round trip must preserve bits, not just values.
+    ASSERT_EQ(av[i], bv[i]) << "value " << i;
+  }
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+/// The reader must throw a ContractError whose message names `needle` (and,
+/// when line > 0, the 1-based offending line).
+void expect_read_error(const std::string& content, const std::string& needle,
+                       long line = 0) {
+  const std::string path = temp_path("malformed.mtx");
+  write_file(path, content);
+  try {
+    (void)la::mm::read_matrix(path);
+    FAIL() << "expected ContractError mentioning '" << needle << "'";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+    if (line > 0) {
+      EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+          << what;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MatrixMarket, GeneralRoundTripIsBitExact) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const CsrMatrix a =
+        random_matrix(40 + static_cast<Index>(seed) * 7, 33, seed,
+                      /*symmetric=*/false);
+    const std::string path = temp_path("general.mtx");
+    la::mm::write_matrix(path, a);
+    const CsrMatrix b = la::mm::read_matrix(path);
+    expect_bit_equal(a, b);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(MatrixMarket, SymmetricRoundTripIsBitExact) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const CsrMatrix a = random_matrix(50, 50, seed, /*symmetric=*/true);
+    ASSERT_EQ(a.symmetry_defect(), 0.0);
+    const std::string path = temp_path("symmetric.mtx");
+    la::mm::write_matrix(path, a, la::mm::Symmetry::kSymmetric);
+    // The file stores only the lower triangle...
+    const CsrMatrix b = la::mm::read_matrix(path);
+    // ...but reading mirrors it back to the full bit-identical matrix.
+    expect_bit_equal(a, b);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(MatrixMarket, SymmetricWriteRejectsUnsymmetricMatrix) {
+  const CsrMatrix a = random_matrix(20, 20, 99, /*symmetric=*/false);
+  ASSERT_GT(a.symmetry_defect(), 0.0);
+  EXPECT_THROW(
+      la::mm::write_matrix(temp_path("bad_sym.mtx"), a,
+                           la::mm::Symmetry::kSymmetric),
+      ContractError);
+}
+
+TEST(MatrixMarket, VectorRoundTripIsBitExact) {
+  Rng rng(21);
+  std::vector<double> v(137);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-100.0, 100.0));
+  }
+  v[0] = 0.0;
+  v[1] = 1.0 / 3.0;
+  const std::string path = temp_path("vector.mtx");
+  la::mm::write_vector(path, v);
+  const std::vector<double> w = la::mm::read_vector(path);
+  ASSERT_EQ(v.size(), w.size());
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], w[i]) << i;
+  std::filesystem::remove(path);
+}
+
+TEST(MatrixMarket, CommentsAndCrlfAreTolerated) {
+  const std::string path = temp_path("comments.mtx");
+  write_file(path,
+             "%%MatrixMarket matrix coordinate real general\r\n"
+             "% a comment\r\n"
+             "\r\n"
+             "2 2 3\r\n"
+             "1 1 1.5\r\n"
+             "% mid-stream comment\r\n"
+             "2 2 -2.5e-3\r\n"
+             "2 1 4\r\n");
+  const CsrMatrix a = la::mm::read_matrix(path);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.at(0, 0), 1.5);
+  EXPECT_EQ(a.at(1, 1), -2.5e-3);
+  EXPECT_EQ(a.at(1, 0), 4.0);
+  std::filesystem::remove(path);
+}
+
+TEST(MatrixMarket, MalformedHeadersAreDiagnosed) {
+  expect_read_error("", "banner");
+  expect_read_error("%%MatrixMarket tensor coordinate real general\n1 1 0\n",
+                    "tensor");
+  expect_read_error("%%MatrixMarket matrix blob real general\n1 1 0\n",
+                    "blob");
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n", "complex");
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate pattern general\n1 1 0\n", "pattern");
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", "hermitian");
+  expect_read_error("%%MatrixMarket matrix coordinate real general\n",
+                    "missing size line");
+  expect_read_error("%%MatrixMarket matrix coordinate real general\n2 2\n",
+                    "size line", 2);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 x 1\n1 1 1\n",
+      "column count", 2);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n",
+      "square");
+  // Oversized dimensions must be rejected, not wrapped through int32 casts.
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 3000000000 1\n1 1 1\n",
+      "32-bit index limit", 2);
+  // A hostile/corrupt entry count must be diagnosed, not trusted for
+  // allocation (bad_alloc / length_error aborts).
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 900000000000000000\n1 1 1\n",
+      "exceeds rows*cols", 2);
+}
+
+TEST(MatrixMarket, ExplicitPlusSignsParseLikeTheReferenceReader) {
+  const std::string path = temp_path("plus.mtx");
+  write_file(path,
+             "%%MatrixMarket matrix coordinate real general\n+2 2 2\n"
+             "+1 1 +1.5\n2 +2 +2e+1\n");
+  const CsrMatrix a = la::mm::read_matrix(path);
+  EXPECT_EQ(a.at(0, 0), 1.5);
+  EXPECT_EQ(a.at(1, 1), 20.0);
+  std::filesystem::remove(path);
+  // A bare '+' is still rejected.
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 +\n",
+      "value", 3);
+}
+
+TEST(MatrixMarket, OutOfRangeIndicesNameTheLine) {
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n3 1 1\n",
+      "row index 3 out of range", 4);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1\n",
+      "column index 0 out of range", 3);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n1 2 5\n",
+      "above the diagonal", 3);
+}
+
+TEST(MatrixMarket, TruncatedAndTrailingFilesAreDiagnosed) {
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 1\n2 2 2\n",
+      "truncated");
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 9\n",
+      "trailing data", 4);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+      "value", 3);
+  expect_read_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+      "'i j value'", 3);
+}
+
+TEST(MatrixMarket, FormatFamilyMismatchesAreExplained) {
+  const std::string array_file = temp_path("array.mtx");
+  write_file(array_file,
+             "%%MatrixMarket matrix array real general\n3 1\n1\n2\n3\n");
+  EXPECT_THROW((void)la::mm::read_matrix(array_file), ContractError);
+  const std::vector<double> v = la::mm::read_vector(array_file);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3.0);
+  std::filesystem::remove(array_file);
+
+  const std::string coord_file = temp_path("coord.mtx");
+  write_file(coord_file,
+             "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n");
+  EXPECT_THROW((void)la::mm::read_vector(coord_file), ContractError);
+  std::filesystem::remove(coord_file);
+
+  const std::string wide = temp_path("wide.mtx");
+  write_file(wide, "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW((void)la::mm::read_vector(wide), ContractError);
+  std::filesystem::remove(wide);
+
+  EXPECT_THROW((void)la::mm::read_matrix(temp_path("does_not_exist.mtx")),
+               ContractError);
+}
+
+TEST(MatrixMarket, DuplicateEntriesAreSummed) {
+  const std::string path = temp_path("dups.mtx");
+  write_file(path,
+             "%%MatrixMarket matrix coordinate real general\n2 2 3\n"
+             "1 1 1.25\n1 1 0.75\n2 2 1\n");
+  const CsrMatrix a = la::mm::read_matrix(path);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.at(0, 0), 2.0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "gnn/dss_model.hpp"
+#include "gnn/graph.hpp"
 #include "la/vector_ops.hpp"
 #include "mesh/generator.hpp"
 #include "partition/decomposition.hpp"
@@ -56,13 +57,16 @@ TEST(Registry, EveryRegisteredNameConstructsAndNameMatches) {
   const auto dec =
       partition::decompose_target_size(m.adj_ptr(), m.adj(), 250, 2, 3);
   const gnn::DssModel model = tiny_model();
+  const la::CsrMatrix mesh_pattern =
+      gnn::adjacency_pattern(m.adj_ptr(), m.adj());
   const auto names = precond::preconditioner_names();
   ASSERT_GE(names.size(), 7u);
   for (const std::string& name : names) {
     const auto& traits = precond::preconditioner_traits(name);
     precond::PrecondContext ctx;
     ctx.A = &prob.A;
-    ctx.mesh = &m;
+    ctx.coords = m.points();
+    ctx.edge_pattern = &mesh_pattern;
     ctx.dirichlet = prob.dirichlet;
     if (traits.needs_decomposition) ctx.dec = &dec;
     if (traits.needs_model) ctx.model = &model;
@@ -100,9 +104,12 @@ TEST(Registry, AliasesResolveToCanonicalNames) {
 
 TEST(Registry, MissingRequirementsFailWithReadableErrors) {
   auto [m, prob] = small_problem();
+  const la::CsrMatrix mesh_pattern =
+      gnn::adjacency_pattern(m.adj_ptr(), m.adj());
   precond::PrecondContext ctx;
   ctx.A = &prob.A;
-  ctx.mesh = &m;
+  ctx.coords = m.points();
+  ctx.edge_pattern = &mesh_pattern;
   ctx.dirichlet = prob.dirichlet;
   // DDM without a decomposition.
   EXPECT_THROW(precond::make_preconditioner("ddm-lu", ctx), ContractError);
@@ -110,6 +117,11 @@ TEST(Registry, MissingRequirementsFailWithReadableErrors) {
   const auto dec =
       partition::decompose_target_size(m.adj_ptr(), m.adj(), 250, 2, 3);
   ctx.dec = &dec;
+  EXPECT_THROW(precond::make_preconditioner("ddm-gnn", ctx), ContractError);
+  // GNN with a model but no geometry.
+  const gnn::DssModel model = tiny_model();
+  ctx.model = &model;
+  ctx.coords = {};
   EXPECT_THROW(precond::make_preconditioner("ddm-gnn", ctx), ContractError);
 }
 
