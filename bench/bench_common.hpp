@@ -16,6 +16,7 @@
 
 #include "common/error.hpp"
 #include "common/options.hpp"
+#include "common/parallel.hpp"
 #include "core/hybrid_solver.hpp"
 #include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
@@ -99,6 +100,17 @@ inline const char* find_flag(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+/// Honor a `--threads N` flag (overrides DDMGNN_THREADS / OMP defaults for
+/// the whole process) and return the effective worker count either way.
+inline int apply_thread_flag(int argc, char** argv) {
+  if (const char* t = find_flag(argc, argv, "--threads")) {
+    const int v = std::atoi(t);
+    DDMGNN_CHECK(v > 0, std::string("--threads must be > 0 (got ") + t + ")");
+    set_num_threads(v);
+  }
+  return num_threads();
 }
 
 /// `--matrix file.mtx [--rhs b.mtx]` when present, else the generated FEM
@@ -186,11 +198,29 @@ class JsonRecord {
   std::string body_;
 };
 
-/// Write records as a JSON array to `path` (usually under artifact_dir()).
+/// The environment stamp every bench JSON carries as its first record, so
+/// perf numbers stay interpretable after the fact: effective thread count,
+/// build type, and the DDMGNN_BENCH_SCALE preset.
+inline JsonRecord meta_record() {
+#ifdef DDMGNN_BUILD_TYPE
+  const std::string build_type = DDMGNN_BUILD_TYPE;
+#else
+  const std::string build_type = "unknown";
+#endif
+  return JsonRecord()
+      .add("record", std::string("meta"))
+      .add("threads", num_threads())
+      .add("build_type", build_type)
+      .add("bench_scale", std::string(bench_scale_name()));
+}
+
+/// Write records as a JSON array to `path` (usually under artifact_dir()),
+/// prefixed with the meta_record() environment stamp.
 inline void write_json(const std::string& path,
                        const std::vector<JsonRecord>& records) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "[\n  " << meta_record().str() << (records.empty() ? "" : ",")
+      << "\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     out << "  " << records[i].str() << (i + 1 < records.size() ? "," : "")
         << "\n";

@@ -1,12 +1,15 @@
-// Micro-benchmarks (google-benchmark) of the kernels behind Table III's
-// timings: SpMV, skyline Cholesky factor/solve, IC(0) apply, dense coarse
-// solve, MLP forward, single-subdomain DSS inference, and one full ASM
-// preconditioner application. These back the T / T_lu / T_gnn decomposition
-// with kernel-level numbers.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the kernels behind Table III's timings: SpMV, skyline
+// Cholesky factor/solve, IC(0) apply, dense coarse solve, MLP forward
+// (scalar reference and fused simd kernel), single-subdomain DSS inference
+// (factorized and reference paths), and one full ASM preconditioner
+// application. These back the T / T_lu / T_gnn decomposition with
+// kernel-level numbers. Uses google-benchmark when available and the
+// bench_shim fallback timing loop otherwise.
+#include "bench_shim.hpp"
 
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/gnn_subdomain_solver.hpp"
@@ -96,6 +99,22 @@ void BM_MlpForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpForward)->Arg(2048)->Arg(8192);
 
+void BM_MlpInferFused(benchmark::State& state) {
+  nn::ParameterStore ps;
+  nn::Mlp mlp(ps, 23, 10, 10);
+  ps.finalize();
+  Rng rng(1);
+  mlp.init(ps.values(), rng);
+  nn::Tensor x(static_cast<int>(state.range(0)), 23), y, hidden;
+  for (auto& v : x.d) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    mlp.infer(ps.data(), x, y, hidden);
+    benchmark::DoNotOptimize(y.d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MlpInferFused)->Arg(2048)->Arg(8192);
+
 void BM_DssInference(benchmark::State& state) {
   const auto& p = cached_problem(2000);
   const auto dec =
@@ -112,22 +131,29 @@ void BM_DssInference(benchmark::State& state) {
   gnn::DssConfig cfg;
   cfg.iterations = static_cast<int>(state.range(0));
   cfg.latent = static_cast<int>(state.range(1));
+  cfg.fast_inference = state.range(2) != 0;  // 1 = factorized, 0 = reference
   const gnn::DssModel model(cfg, 3);
+  const auto cache =
+      cfg.fast_inference
+          ? std::make_unique<gnn::DssEdgeCache>(model.precompute_edges(*topo))
+          : nullptr;
   gnn::GraphSample s;
   s.topo = topo;
   s.rhs.assign(topo->n, 1.0 / std::sqrt(static_cast<double>(topo->n)));
   gnn::DssWorkspace ws;
   std::vector<float> out;
   for (auto _ : state) {
-    model.forward(s, ws, out);
+    model.forward(s, cache.get(), ws, out);
     benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_DssInference)
-    ->Args({5, 5})
-    ->Args({10, 10})
-    ->Args({20, 20})
-    ->Args({30, 10});
+    ->Args({5, 5, 1})
+    ->Args({10, 10, 1})
+    ->Args({20, 20, 1})
+    ->Args({30, 10, 1})
+    ->Args({10, 10, 0})
+    ->Args({30, 10, 0});
 
 void BM_AsmLuApply(benchmark::State& state) {
   const auto& p = cached_problem(static_cast<la::Index>(state.range(0)));

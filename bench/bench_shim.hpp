@@ -1,0 +1,145 @@
+// google-benchmark compatibility shim: when the real library is available
+// (CMake defines DDMGNN_HAVE_GBENCH) this header is just a pass-through;
+// otherwise it provides the small subset of the benchmark API that
+// bench_micro_kernels uses — State iteration, ->Arg()/->Args() registration,
+// DoNotOptimize, SetItemsProcessed — backed by a bench_common-style timing
+// loop. Numbers from the fallback are wall-clock means without gbench's
+// statistical repetitions; good enough for trajectory tracking on machines
+// without the dependency.
+#pragma once
+
+#ifdef DDMGNN_HAVE_GBENCH
+
+#include <benchmark/benchmark.h>
+
+#else  // fallback timing loop
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace benchmark {
+
+class State {
+ public:
+  explicit State(std::vector<std::int64_t> args, double min_seconds = 0.25)
+      : args_(std::move(args)), min_seconds_(min_seconds) {}
+
+  struct iterator {
+    State* state;
+    bool operator!=(const iterator&) const { return state->keep_running(); }
+    void operator++() {}
+    int operator*() const { return 0; }
+  };
+  iterator begin() { return {this}; }
+  iterator end() { return {this}; }
+
+  std::int64_t range(std::size_t i = 0) const { return args_.at(i); }
+  std::int64_t iterations() const { return iters_; }
+  void SetItemsProcessed(std::int64_t n) { items_ = n; }
+
+  double elapsed_seconds() const { return elapsed_; }
+  std::int64_t items_processed() const { return items_; }
+
+ private:
+  bool keep_running() {
+    if (!started_) {
+      started_ = true;
+      iters_ = 0;
+      timer_.reset();
+      return true;
+    }
+    ++iters_;
+    if (timer_.seconds() < min_seconds_) return true;
+    elapsed_ = timer_.seconds();
+    return false;
+  }
+
+  std::vector<std::int64_t> args_;
+  double min_seconds_;
+  bool started_ = false;
+  std::int64_t iters_ = 0;
+  std::int64_t items_ = 0;
+  double elapsed_ = 0.0;
+  ddmgnn::Timer timer_;
+};
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+namespace internal {
+
+struct Benchmark {
+  std::string name;
+  void (*fn)(State&);
+  std::vector<std::vector<std::int64_t>> arg_sets;
+
+  Benchmark* Arg(std::int64_t a) {
+    arg_sets.push_back({a});
+    return this;
+  }
+  Benchmark* Args(std::vector<std::int64_t> as) {
+    arg_sets.push_back(std::move(as));
+    return this;
+  }
+};
+
+inline std::vector<Benchmark>& registry() {
+  static std::vector<Benchmark> r;
+  return r;
+}
+
+inline Benchmark* Register(const char* name, void (*fn)(State&)) {
+  registry().push_back(Benchmark{name, fn, {}});
+  return &registry().back();
+}
+
+inline int RunAll() {
+  std::printf("%-40s %15s %12s %15s\n", "benchmark (fallback timing loop)",
+              "time/iter", "iters", "items/s");
+  for (auto& b : registry()) {
+    auto arg_sets = b.arg_sets;
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      State state(args);
+      b.fn(state);
+      std::string label = b.name;
+      for (const auto a : args) label += "/" + std::to_string(a);
+      const double per_iter =
+          state.iterations() > 0
+              ? state.elapsed_seconds() / static_cast<double>(state.iterations())
+              : 0.0;
+      char rate[32] = "-";
+      if (state.items_processed() > 0 && state.elapsed_seconds() > 0.0) {
+        std::snprintf(rate, sizeof(rate), "%.3g",
+                      static_cast<double>(state.items_processed()) /
+                          state.elapsed_seconds());
+      }
+      std::printf("%-40s %12.0f ns %12lld %15s\n", label.c_str(),
+                  per_iter * 1e9, static_cast<long long>(state.iterations()),
+                  rate);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
+
+#define DDMGNN_BENCH_CONCAT2(a, b) a##b
+#define DDMGNN_BENCH_CONCAT(a, b) DDMGNN_BENCH_CONCAT2(a, b)
+#define BENCHMARK(fn)                                    \
+  static ::benchmark::internal::Benchmark*               \
+      DDMGNN_BENCH_CONCAT(bench_reg_, fn) =              \
+          ::benchmark::internal::Register(#fn, fn)
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::internal::RunAll(); }
+
+#endif  // DDMGNN_HAVE_GBENCH

@@ -1,10 +1,11 @@
 // Thin OpenMP helpers. All parallel loops in the library go through these so
-// thread-count policy lives in one place (DDMGNN_THREADS env var overrides
-// OMP_NUM_THREADS; benches report the effective count).
+// thread-count policy lives in one place (set_num_threads() > DDMGNN_THREADS
+// env var > OMP_NUM_THREADS; benches and tools report the effective count).
 #pragma once
 
 #include <omp.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <functional>
 
@@ -12,24 +13,44 @@
 
 namespace ddmgnn {
 
-/// Effective worker-thread count (env DDMGNN_THREADS > OpenMP default).
+namespace detail {
+inline std::atomic<int>& thread_override() {
+  static std::atomic<int> v{0};
+  return v;
+}
+}  // namespace detail
+
+/// Programmatic thread-count override (tools' --threads flag, tests probing
+/// determinism across counts). Values <= 0 restore the environment default.
+inline void set_num_threads(int n) {
+  detail::thread_override().store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+/// Effective worker-thread count
+/// (set_num_threads > env DDMGNN_THREADS > OpenMP default).
 inline int num_threads() {
-  static const int n = [] {
+  const int overridden =
+      detail::thread_override().load(std::memory_order_relaxed);
+  if (overridden > 0) return overridden;
+  static const int env_default = [] {
     if (const char* env = std::getenv("DDMGNN_THREADS")) {
       const int v = std::atoi(env);
       if (v > 0) return v;
     }
     return omp_get_max_threads();
   }();
-  return n;
+  return env_default;
 }
 
 /// Parallel loop over [0, n) with a grain size below which it runs serially
-/// (avoids fork/join overhead on tiny subdomain kernels).
+/// (avoids fork/join overhead on tiny subdomain kernels). Inside an already
+/// active parallel region the loop runs serially on the calling thread —
+/// nested teams would only add fork overhead, and keeping the iteration
+/// order fixed keeps results identical to the flat case.
 template <typename Fn>
 void parallel_for(long n, const Fn& body, long grain = 256) {
   if (n <= 0) return;
-  if (n < grain || num_threads() == 1) {
+  if (n < grain || num_threads() == 1 || omp_in_parallel()) {
     for (long i = 0; i < n; ++i) body(i);
     return;
   }
@@ -42,7 +63,7 @@ void parallel_for(long n, const Fn& body, long grain = 256) {
 template <typename Fn>
 void parallel_for_dynamic(long n, const Fn& body) {
   if (n <= 0) return;
-  if (n == 1 || num_threads() == 1) {
+  if (n == 1 || num_threads() == 1 || omp_in_parallel()) {
     for (long i = 0; i < n; ++i) body(i);
     return;
   }

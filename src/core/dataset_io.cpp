@@ -78,6 +78,7 @@ std::shared_ptr<gnn::GraphTopology> read_topology(std::ifstream& in) {
   try {
     t->a_local = la::CsrMatrix(rows, rows, std::move(rp), std::move(ci),
                                std::move(va));
+    gnn::finalize_topology(*t);
   } catch (const ContractError&) {
     return nullptr;
   }

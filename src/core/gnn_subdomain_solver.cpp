@@ -41,6 +41,10 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
   shard_cols_ = -1;
   const auto k = static_cast<la::Index>(local_matrices.size());
   topologies_.resize(k);
+  edge_caches_.assign(k, nullptr);
+  // Edge geometry never changes across iterations, applies, or solves, so
+  // the attr projections of every message-passing block are paid once here.
+  const bool precompute = model_->config().fast_inference;
   parallel_for_dynamic(k, [&](long i) {
     const auto& nodes = dec.subdomains[i];
     std::vector<mesh::Point2> local_coords(nodes.size());
@@ -54,6 +58,10 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
     topologies_[i] = gnn::build_topology(std::move(local_matrices[i]),
                                          local_coords, local_dirichlet,
                                          &local_pattern);
+    if (precompute) {
+      edge_caches_[i] = std::make_shared<const gnn::DssEdgeCache>(
+          model_->precompute_edges(*topologies_[i]));
+    }
   });
 }
 
@@ -84,7 +92,7 @@ void GnnSubdomainSolver::solve_all(
       if (norm <= options_.zero_threshold) break;
       const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) sample.rhs[j] = res[j] * inv;
-      model_->forward(sample, tl_ws, out);
+      model_->forward(sample, edge_caches_[i].get(), tl_ws, out);
       const double scale = options_.normalize_input ? norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) {
         z[j] += scale * static_cast<double>(out[j]);
@@ -137,6 +145,10 @@ void GnnSubdomainSolver::build_shards(la::Index s) const {
       shard.tasks[t].slot = static_cast<la::Index>(t);
     }
     shard.batch = gnn::batch_samples(samples);
+    if (model_->config().fast_inference) {
+      shard.cache = std::make_shared<const gnn::DssEdgeCache>(
+          model_->precompute_edges(*shard.batch.merged.topo));
+    }
     shards_.push_back(std::move(shard));
     tasks.clear();
     shard_nodes = 0;
@@ -194,7 +206,7 @@ void GnnSubdomainSolver::solve_all_block(
         for (la::Index l = 0; l < n; ++l) rhs[off + l] = cur[l] * inv;
         scale[t] = options_.normalize_input ? norm : 1.0;
       }
-      model_->forward(shard.batch.merged, tl_ws, out);
+      model_->forward(shard.batch.merged, shard.cache.get(), tl_ws, out);
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
         const la::Index n = topologies_[task.part]->n;

@@ -77,6 +77,13 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   const std::vector<std::shared_ptr<gnn::GraphTopology>>& topologies() const {
     return topologies_;
   }
+  /// Per-topology attr-projection caches (empty entries when the model runs
+  /// the reference inference path). Built at setup() against the model's
+  /// then-current parameters — the solver assumes a frozen trained model.
+  const std::vector<std::shared_ptr<const gnn::DssEdgeCache>>& edge_caches()
+      const {
+    return edge_caches_;
+  }
 
  private:
   struct ShardTask {
@@ -87,6 +94,7 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   struct Shard {
     std::vector<ShardTask> tasks;
     gnn::BatchedSample batch;  // merged topology cached, rhs rewritten
+    std::shared_ptr<const gnn::DssEdgeCache> cache;  // merged attr projections
   };
 
   /// (Re)build the shard plan for `s` RHS columns. Called lazily from
@@ -105,6 +113,7 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
                                 // mesh adjacency or matrix adjacency
   Options options_;
   std::vector<std::shared_ptr<gnn::GraphTopology>> topologies_;
+  std::vector<std::shared_ptr<const gnn::DssEdgeCache>> edge_caches_;
   mutable std::vector<Shard> shards_;
   mutable la::Index shard_cols_ = -1;
 };

@@ -4,9 +4,11 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/gnn_subdomain_solver.hpp"
 #include "gnn/graph.hpp"
 #include "gnn/spectral_coords.hpp"
 #include "la/multivector.hpp"
+#include "precond/asm_precond.hpp"
 #include "precond/registry.hpp"
 #include "solver/block_krylov.hpp"
 
@@ -195,6 +197,20 @@ std::size_t SolverSession::memory_bytes() const {
     for (const auto& nodes : dec_->subdomains) {
       bytes += nodes.size() * sizeof(la::Index);
       bytes += nodes.size() * nodes.size() * sizeof(double);
+    }
+  }
+  // The GNN local solver additionally holds per-topology attr-projection
+  // caches (the factorized inference engine's setup-time precompute); count
+  // them so the SessionCache byte budget stays honest for ddm-gnn sessions.
+  // Merged-shard caches are built lazily per column count and excluded from
+  // this (intentionally coarse) estimate.
+  if (const auto* schwarz =
+          dynamic_cast<const precond::AdditiveSchwarz*>(m_inv_.get())) {
+    if (const auto* gnn_local = dynamic_cast<const GnnSubdomainSolver*>(
+            &schwarz->local_solver())) {
+      for (const auto& cache : gnn_local->edge_caches()) {
+        if (cache) bytes += cache->bytes();
+      }
     }
   }
   return bytes;

@@ -59,6 +59,7 @@ BatchedSample batch_samples(std::span<const GraphSample> samples) {
   }
   topo->a_local = la::CsrMatrix(total_nodes, total_nodes, std::move(rp),
                                 std::move(ci), std::move(va));
+  finalize_topology(*topo);
   out.merged.topo = std::move(topo);
   return out;
 }

@@ -3,45 +3,11 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "gnn/dss_kernels.hpp"
 
 namespace ddmgnn::gnn {
-
-namespace {
-
-/// Edge-input assembly: row e = [h_recv, h_send, ±dx, ±dy, dist].
-void build_edge_inputs(const GraphTopology& topo, const nn::Tensor& h,
-                       bool flip_direction, nn::Tensor& x) {
-  const int d = h.cols;
-  const Index ne = topo.num_edges();
-  x.resize(ne, 2 * d + 3);
-  const float sign = flip_direction ? -1.0f : 1.0f;
-  for (Index e = 0; e < ne; ++e) {
-    float* row = x.row(e);
-    const float* hr = h.row(topo.recv[e]);
-    const float* hs = h.row(topo.send[e]);
-    for (int k = 0; k < d; ++k) row[k] = hr[k];
-    for (int k = 0; k < d; ++k) row[d + k] = hs[k];
-    const float* a = &topo.attr[static_cast<std::size_t>(e) * 3];
-    row[2 * d + 0] = sign * a[0];
-    row[2 * d + 1] = sign * a[1];
-    row[2 * d + 2] = a[2];
-  }
-}
-
-/// phi[recv[e]] += m[e].
-void aggregate_messages(const GraphTopology& topo, const nn::Tensor& m,
-                        Index n, nn::Tensor& phi) {
-  const int d = m.cols;
-  phi.resize(n, d);
-  phi.zero();
-  for (Index e = 0; e < topo.num_edges(); ++e) {
-    float* dst = phi.row(topo.recv[e]);
-    const float* src = m.row(e);
-    for (int k = 0; k < d; ++k) dst[k] += src[k];
-  }
-}
-
-}  // namespace
 
 DssModel::DssModel(DssConfig cfg, std::uint64_t seed) : cfg_(cfg) {
   DDMGNN_CHECK(cfg_.iterations >= 1 && cfg_.latent >= 1 && cfg_.hidden >= 1,
@@ -87,11 +53,11 @@ void DssModel::run_forward(const GraphSample& g, DssWorkspace& ws,
 
     build_edge_inputs(topo, h, /*flip=*/false, st.x_fwd);
     blk.phi_fwd.forward(p, st.x_fwd, st.m_fwd, st.c_fwd);
-    aggregate_messages(topo, st.m_fwd, n, st.phi_fwd);
+    aggregate_scatter(topo, st.m_fwd, n, st.phi_fwd);
 
     build_edge_inputs(topo, h, /*flip=*/true, st.x_bwd);
     blk.phi_bwd.forward(p, st.x_bwd, st.m_bwd, st.c_bwd);
-    aggregate_messages(topo, st.m_bwd, n, st.phi_bwd);
+    aggregate_scatter(topo, st.m_bwd, n, st.phi_bwd);
 
     // Ψ input: [h, c (, dirichlet flag), φ→, φ←].
     st.x_psi.resize(n, cfg_.update_input_dim());
@@ -118,11 +84,152 @@ void DssModel::run_forward(const GraphSample& g, DssWorkspace& ws,
   }
 }
 
-void DssModel::forward(const GraphSample& g, DssWorkspace& ws,
-                       std::vector<float>& out) const {
+DssEdgeCache DssModel::precompute_edges(const GraphTopology& topo) const {
+  DssEdgeCache cache;
+  cache.fwd.resize(cfg_.iterations);
+  cache.bwd.resize(cfg_.iterations);
+  const float* p = store_.data();
+  const int ldw = cfg_.message_input_dim();
+  const int attr_col = 2 * cfg_.latent;
+  for (int k = 0; k < cfg_.iterations; ++k) {
+    const nn::Linear& l1f = blocks_[k].phi_fwd.l1();
+    const nn::Linear& l1b = blocks_[k].phi_bwd.l1();
+    project_attr(topo, l1f.weights(p), ldw, attr_col, l1f.bias(p),
+                 /*sign=*/1.0f, cfg_.hidden, cache.fwd[k]);
+    project_attr(topo, l1b.weights(p), ldw, attr_col, l1b.bias(p),
+                 /*sign=*/-1.0f, cfg_.hidden, cache.bwd[k]);
+  }
+  return cache;
+}
+
+void DssModel::run_forward_fast(const GraphSample& g, const DssEdgeCache* cache,
+                                DssWorkspace& ws,
+                                DssPhaseProfile* profile) const {
+  const GraphTopology& topo = *g.topo;
+  DDMGNN_CHECK(topo.recv_ptr.size() == static_cast<std::size_t>(topo.n) + 1,
+               "DssModel: fast inference requires a finalized topology "
+               "(finalize_topology builds the receiver-CSR index)");
+  DDMGNN_CHECK(cache == nullptr ||
+                   (cache->fwd.size() ==
+                        static_cast<std::size_t>(cfg_.iterations) &&
+                    cache->bwd.size() == cache->fwd.size() &&
+                    cache->fwd[0].rows == topo.num_edges() &&
+                    cache->bwd[0].rows == topo.num_edges()),
+               "DssModel: edge cache does not match the model depth and the "
+               "sample's topology (caches are per (topology, model) pair)");
+  const Index n = topo.n;
+  const int d = cfg_.latent;
+  const int hid = cfg_.hidden;
+  const int in_dim = cfg_.node_input_dim();
+  const int ldw = cfg_.message_input_dim();
+  const int attr_col = 2 * d;
+  const float* p = store_.data();
+  auto& f = ws.fast;
+
+  Timer phase_timer;
+  auto tic = [&] {
+    if (profile != nullptr) phase_timer.reset();
+  };
+  auto toc = [&](double DssPhaseProfile::*slot) {
+    if (profile != nullptr) profile->*slot += phase_timer.seconds();
+  };
+
+  f.h_cur.resize(n, d);
+  f.h_cur.zero();
+
+  for (int k = 0; k < cfg_.iterations; ++k) {
+    const Block& blk = blocks_[k];
+    for (const bool flip : {false, true}) {
+      const nn::Mlp& mlp = flip ? blk.phi_bwd : blk.phi_fwd;
+      const nn::Linear& l1 = mlp.l1();
+      const float* w1 = l1.weights(p);
+
+      tic();
+      if (k == 0) {
+        // H⁰ = 0 ⇒ both node projections are exactly zero; skip the GEMMs.
+        f.p_recv.resize(n, hid);
+        f.p_recv.zero();
+        f.p_send.resize(n, hid);
+        f.p_send.zero();
+      } else {
+        nn::fused_gemm(w1, ldw, /*col0=*/0, hid, /*b=*/nullptr,
+                       /*relu=*/false, f.h_cur, f.p_recv);
+        nn::fused_gemm(w1, ldw, /*col0=*/d, hid, /*b=*/nullptr,
+                       /*relu=*/false, f.h_cur, f.p_send);
+      }
+      const nn::Tensor* attr_proj;
+      if (cache != nullptr) {
+        attr_proj = flip ? &cache->bwd[k] : &cache->fwd[k];
+      } else {
+        project_attr(topo, w1, ldw, attr_col, l1.bias(p),
+                     flip ? -1.0f : 1.0f, hid, f.attr_scratch);
+        attr_proj = &f.attr_scratch;
+      }
+      toc(&DssPhaseProfile::projection);
+
+      tic();
+      gather_edge_preact(topo, f.p_recv, f.p_send, *attr_proj, f.e_act);
+      toc(&DssPhaseProfile::gather);
+
+      tic();
+      mlp.l2().forward_fused(p, f.e_act, f.m_edge, /*relu=*/false);
+      toc(&DssPhaseProfile::projection);
+
+      tic();
+      aggregate_segmented(topo, f.m_edge, flip ? f.phi_bwd : f.phi_fwd);
+      toc(&DssPhaseProfile::aggregate);
+    }
+
+    tic();
+    // Ψ input: [h, c (, dirichlet flag), φ→, φ←] — same layout as the
+    // reference path.
+    f.x_psi.resize(n, cfg_.update_input_dim());
+    parallel_for(
+        n,
+        [&](long li) {
+          const auto i = static_cast<Index>(li);
+          float* row = f.x_psi.row(i);
+          const float* hi = f.h_cur.row(i);
+          for (int kk = 0; kk < d; ++kk) row[kk] = hi[kk];
+          row[d] = static_cast<float>(g.rhs[i]);
+          if (in_dim == 2) row[d + 1] = topo.dirichlet[i] ? 1.0f : 0.0f;
+          const float* pf = f.phi_fwd.row(i);
+          const float* pb = f.phi_bwd.row(i);
+          for (int kk = 0; kk < d; ++kk) row[d + in_dim + kk] = pf[kk];
+          for (int kk = 0; kk < d; ++kk) row[d + in_dim + d + kk] = pb[kk];
+        },
+        /*grain=*/2048);
+    blk.psi.infer(p, f.x_psi, f.u, f.hidden);
+    f.h_next.resize(n, d);
+    const float alpha = cfg_.alpha;
+    for (std::size_t i = 0; i < f.h_cur.size(); ++i) {
+      f.h_next.d[i] = f.h_cur.d[i] + alpha * f.u.d[i];
+    }
+    std::swap(f.h_cur, f.h_next);
+    toc(&DssPhaseProfile::update);
+  }
+
+  tic();
+  blocks_.back().dec.infer(p, f.h_cur, f.rhat, f.hidden);
+  toc(&DssPhaseProfile::decode);
+}
+
+void DssModel::forward(const GraphSample& g, const DssEdgeCache* cache,
+                       DssWorkspace& ws, std::vector<float>& out,
+                       DssPhaseProfile* profile) const {
+  if (cfg_.fast_inference) {
+    run_forward_fast(g, cache, ws, profile);
+    out.assign(ws.fast.rhat.d.begin(), ws.fast.rhat.d.end());
+    return;
+  }
   run_forward(g, ws, /*keep_all_decodes=*/false);
   const nn::Tensor& rhat = ws.iters.back().rhat;
   out.assign(rhat.d.begin(), rhat.d.end());
+}
+
+void DssModel::forward(const GraphSample& g, DssWorkspace& ws,
+                       std::vector<float>& out) const {
+  forward(g, /*cache=*/nullptr, ws, out, /*profile=*/nullptr);
 }
 
 double DssModel::residual_loss(const GraphTopology& topo,

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gnn/dss_kernels.hpp"
 #include "gnn/graph.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
@@ -38,6 +39,13 @@ struct DssConfig {
   float alpha = 0.05f;  ///< ResNet step (paper: 1e-3; larger trains faster on
                         ///< the small CPU budgets this repo targets)
   bool dirichlet_flag = true;  ///< extra node-input channel (see header note)
+  /// Inference path selector: true routes forward() through the factorized
+  /// simd engine (dss_kernels.hpp), false through the scalar reference
+  /// implementation — same weights, outputs agree to float rounding (the
+  /// fast-path test bounds the difference at 1e-4 relative). Not part of the
+  /// serialized model identity; training always uses the reference kernels
+  /// because the backward pass consumes their caches.
+  bool fast_inference = true;
 
   int node_input_dim() const { return dirichlet_flag ? 2 : 1; }
   int message_input_dim() const { return 2 * latent + 3; }
@@ -64,6 +72,19 @@ struct DssWorkspace {
   std::vector<IterState> iters;
   // Backward scratch.
   nn::Tensor dh, dh_next, du, drhat, dx_psi, dm, dx_edge, dphi_fwd, dphi_bwd;
+  /// Factorized-inference scratch: the fast path needs no per-iteration
+  /// state (only the running latent), so its buffers are flat and ping-pong.
+  struct Fast {
+    nn::Tensor h_cur, h_next;         // latent (n × d)
+    nn::Tensor p_recv, p_send;        // node projections (n × hidden)
+    nn::Tensor attr_scratch;          // cache-less attr projections (ne × hidden)
+    nn::Tensor e_act;                 // fused edge activations (ne × hidden)
+    nn::Tensor m_edge;                // edge messages (ne × d)
+    nn::Tensor phi_fwd, phi_bwd;      // aggregated messages (n × d)
+    nn::Tensor x_psi, u;              // Ψ input / output
+    nn::Tensor hidden;                // MLP hidden scratch
+    nn::Tensor rhat;                  // decode (n × 1)
+  } fast;
 };
 
 class DssModel {
@@ -71,13 +92,30 @@ class DssModel {
   DssModel(DssConfig cfg, std::uint64_t seed);
 
   const DssConfig& config() const { return cfg_; }
+  /// Flip between the factorized engine and the scalar reference path
+  /// (benches and the equivalence tests A/B the two on one binary).
+  void set_fast_inference(bool fast) { cfg_.fast_inference = fast; }
   std::size_t num_params() const { return store_.size(); }
   std::span<float> params() { return store_.values(); }
   std::span<const float> params() const { return store_.values(); }
 
+  /// Precompute the per-block attr projections of `topo` for this model's
+  /// current parameters — one-time setup cost that removes the attr GEMM
+  /// from every subsequent fast forward on that topology. Invalidated by
+  /// parameter updates (callers hold frozen trained models).
+  DssEdgeCache precompute_edges(const GraphTopology& topo) const;
+
   /// Inference: out = r̂^k̄ (the final decode), resized to g.size().
   void forward(const GraphSample& g, DssWorkspace& ws,
                std::vector<float>& out) const;
+
+  /// Inference with an optional precomputed edge cache (nullptr recomputes
+  /// the attr projections per call) and optional per-phase wall-clock
+  /// accumulation (nullptr = no timing; profile is only filled by the fast
+  /// path). Honors cfg.fast_inference.
+  void forward(const GraphSample& g, const DssEdgeCache* cache,
+               DssWorkspace& ws, std::vector<float>& out,
+               DssPhaseProfile* profile = nullptr) const;
 
   /// Training pass: runs forward with all intermediate decodes, accumulates
   /// parameter gradients into `grads` (size num_params()), returns the
@@ -98,6 +136,9 @@ class DssModel {
 
   void run_forward(const GraphSample& g, DssWorkspace& ws,
                    bool keep_all_decodes) const;
+  /// Factorized inference engine (see dss_kernels.hpp for the algebra).
+  void run_forward_fast(const GraphSample& g, const DssEdgeCache* cache,
+                        DssWorkspace& ws, DssPhaseProfile* profile) const;
   /// L_res and its gradient w.r.t. the decode (into ws.drhat).
   double residual_loss(const GraphTopology& topo,
                        std::span<const double> rhs, const nn::Tensor& rhat,

@@ -35,7 +35,29 @@ std::shared_ptr<GraphTopology> build_topology(
     }
   }
   topo->a_local = std::move(a_local);
+  finalize_topology(*topo);
   return topo;
+}
+
+void finalize_topology(GraphTopology& topo) {
+  const Index n = topo.n;
+  const Index ne = topo.num_edges();
+  topo.recv_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  topo.recv_order.resize(ne);
+  for (Index e = 0; e < ne; ++e) {
+    DDMGNN_CHECK(topo.recv[e] >= 0 && topo.recv[e] < n,
+                 "finalize_topology: receiver out of range");
+    ++topo.recv_ptr[topo.recv[e] + 1];
+  }
+  for (Index j = 0; j < n; ++j) topo.recv_ptr[j + 1] += topo.recv_ptr[j];
+  std::vector<la::Offset> cursor(topo.recv_ptr.begin(),
+                                 topo.recv_ptr.end() - 1);
+  // Increasing-e insertion makes the sort stable: each segment lists its
+  // edges in original edge order, matching the serial scatter's
+  // per-destination accumulation order exactly.
+  for (Index e = 0; e < ne; ++e) {
+    topo.recv_order[cursor[topo.recv[e]]++] = e;
+  }
 }
 
 CsrMatrix adjacency_pattern(std::span<const la::Offset> adj_ptr,

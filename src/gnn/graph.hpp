@@ -35,6 +35,15 @@ struct GraphTopology {
   /// by the exact local solve in metrics.
   CsrMatrix a_local;
 
+  /// CSR-by-receiver view of the edge list, built once at construction by
+  /// finalize_topology(): edges recv_order[recv_ptr[j] .. recv_ptr[j+1]) all
+  /// have receiver j, in increasing edge order (stable). This turns message
+  /// aggregation into a segmented reduction parallelizable over nodes with
+  /// no atomics — per-node summation order equals the serial scatter's, so
+  /// results are bitwise reproducible at any thread count.
+  std::vector<la::Offset> recv_ptr;
+  std::vector<Index> recv_order;
+
   Index num_edges() const { return static_cast<Index>(recv.size()); }
 };
 
@@ -62,5 +71,11 @@ std::shared_ptr<GraphTopology> build_topology(
 /// principal_submatrix to give each subdomain its Ω_h,i message graph.
 CsrMatrix adjacency_pattern(std::span<const la::Offset> adj_ptr,
                             std::span<const Index> adj);
+
+/// (Re)build the receiver-CSR index (recv_ptr / recv_order) from the edge
+/// list — a stable counting sort by receiver, O(n + ne). Every construction
+/// site (build_topology, batch_samples, dataset I/O) calls this; custom
+/// topologies assembled by hand must call it before fast-path inference.
+void finalize_topology(GraphTopology& topo);
 
 }  // namespace ddmgnn::gnn

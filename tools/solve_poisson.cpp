@@ -23,6 +23,8 @@
 // omitted); default picked from the preconditioner's symmetry.
 // --repeat N re-solves the same system N times through one session, showing
 // the setup cost amortize away.
+// --threads N pins the worker-thread count (reported as threads= on every
+// result line so timings stay interpretable).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +32,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/model_zoo.hpp"
 #include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
@@ -64,6 +67,17 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(arg_num(argc, argv, "--seed", 1));
   const int repeat = static_cast<int>(arg_num(argc, argv, "--repeat", 1));
+  // --threads N overrides DDMGNN_THREADS / OMP defaults for this process;
+  // the effective count is reported on every result line either way.
+  const int threads_flag = static_cast<int>(arg_num(argc, argv, "--threads", 0));
+  if (arg_str(argc, argv, "--threads", nullptr) != nullptr) {
+    if (threads_flag <= 0) {
+      std::fprintf(stderr, "--threads must be > 0 (got %d)\n", threads_flag);
+      return 2;
+    }
+    set_num_threads(threads_flag);
+  }
+  const int threads = num_threads();
 
   if (!precond::PrecondRegistry::instance().contains(precond)) {
     std::fprintf(stderr, "unknown --precond %s; registered:", precond.c_str());
@@ -189,10 +203,10 @@ int main(int argc, char** argv) {
     opts.max_iterations = cfg.max_iterations;
     const auto res = solver::stationary_iteration(
         prob.A, session.preconditioner(), prob.b, x, opts, omega);
-    std::printf("method=richardson+%s N=%d K=%d omega=%.4f%s iters=%d "
-                "rel_res=%.3e T=%.4f setup=%.4f converged=%d\n",
+    std::printf("method=richardson+%s N=%d K=%d threads=%d omega=%.4f%s "
+                "iters=%d rel_res=%.3e T=%.4f setup=%.4f converged=%d\n",
                 session.preconditioner().name().c_str(), problem_nodes,
-                session.num_subdomains(), omega,
+                session.num_subdomains(), threads, omega,
                 omega_str != nullptr ? "" : "(auto)", res.iterations,
                 res.final_relative_residual, res.total_seconds,
                 session.setup_seconds(), res.converged ? 1 : 0);
@@ -225,10 +239,10 @@ int main(int argc, char** argv) {
   for (int run = 0; run < std::max(1, repeat); ++run) {
     std::fill(x.begin(), x.end(), 0.0);
     const auto res = session.solve(prob.b, x);
-    std::printf("method=%s precond=%s N=%d K=%d iters=%d rel_res=%.3e T=%.4f "
-                "T_precond=%.4f setup=%.4f converged=%d\n",
+    std::printf("method=%s precond=%s N=%d K=%d threads=%d iters=%d "
+                "rel_res=%.3e T=%.4f T_precond=%.4f setup=%.4f converged=%d\n",
                 res.method.c_str(), precond.c_str(), problem_nodes,
-                session.num_subdomains(), res.iterations,
+                session.num_subdomains(), threads, res.iterations,
                 res.final_relative_residual, res.total_seconds,
                 res.precond_seconds, run == 0 ? session.setup_seconds() : 0.0,
                 res.converged ? 1 : 0);
