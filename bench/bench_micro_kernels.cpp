@@ -162,8 +162,9 @@ void BM_AsmLuApply(benchmark::State& state) {
   precond::AdditiveSchwarz ddm(
       p.prob.A, dec, std::make_unique<precond::CholeskySubdomainSolver>());
   std::vector<double> r(p.prob.b.size(), 1.0), z(r.size());
+  const auto ws = ddm.make_workspace();
   for (auto _ : state) {
-    ddm.apply(r, z);
+    ddm.apply(r, z, ws.get());
     benchmark::DoNotOptimize(z.data());
   }
 }

@@ -57,12 +57,15 @@ ApplyStats time_applies(const gnn::DssModel& model, const bench::Problem& p,
       model, p.m, p.prob.dirichlet, opts);
   precond::AdditiveSchwarz ddm(p.prob.A, dec, std::move(local));
   std::vector<double> z(p.prob.b.size());
-  ddm.apply(p.prob.b, z);  // warm-up: thread-local workspaces, page faults
+  // One caller-owned workspace for the whole timing run, exactly like a
+  // Krylov solve holds one: applies are allocation-free after the warm-up.
+  const auto ws = ddm.make_workspace();
+  ddm.apply(p.prob.b, z, ws.get());  // warm-up: workspace buffers, page faults
   std::vector<double> times;
   times.reserve(reps);
   for (int r = 0; r < reps; ++r) {
     Timer t;
-    ddm.apply(p.prob.b, z);
+    ddm.apply(p.prob.b, z, ws.get());
     times.push_back(t.seconds());
   }
   return {bench::stats_of(times), static_cast<la::Index>(dec.subdomains.size())};

@@ -1,0 +1,214 @@
+// Multi-client serving throughput: T client threads hammer ONE prepared
+// session out of a shared core::SessionCache with mixed traffic (single-RHS
+// solve + batched solve_many) and we report solves/sec vs T.
+//
+// This is the workload the concurrency rework exists for: the paper's
+// economics amortize one expensive setup over many solves, and a service
+// front-end amortizes it over many *clients* — which is only sound now that
+// apply scratch is caller-owned (per-call workspaces) and the cache is
+// stampede-safe. Each client re-fetches its session from the cache every
+// round, so the measured path includes the concurrent hit path, exactly as
+// a request handler would run it.
+//
+// Client threads are the parallelism axis here, so the library's inner
+// OpenMP parallelism defaults to 1 worker (a real serving box dedicates
+// cores to clients, not to nested teams); --threads N overrides.
+//
+//   ./bench_serving [--threads N] [--clients "1 2 4"] [--ops K]
+//
+// JSON: artifacts/bench_serving.json (standard meta record first; one
+// record per (preconditioner, client count) plus per-run hit/miss stats).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/session_cache.hpp"
+#include "gnn/dss_model.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+
+la::Index nodes_for_scale() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: return 800;
+    case BenchScale::kPaper: return 8000;
+    default: return 2000;
+  }
+}
+
+int ops_for_scale() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: return 2;
+    case BenchScale::kPaper: return 12;
+    default: return 4;
+  }
+}
+
+struct ServingResult {
+  int clients = 0;
+  long solves = 0;       // completed right-hand sides (solve_many counts s)
+  double seconds = 0.0;
+  bool all_converged = true;
+  double solves_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(solves) / seconds : 0.0;
+  }
+};
+
+/// T clients × `ops` rounds each against one cached session. Every round:
+/// re-fetch the session from the cache (concurrent hit path), then
+/// alternate a single solve and a 4-RHS solve_many — the mixed traffic of a
+/// request front-end.
+ServingResult serve(core::SessionCache& cache, const bench::Problem& p,
+                    const core::HybridConfig& cfg, int clients, int ops) {
+  const std::size_t n = p.prob.b.size();
+  std::atomic<long> solves{0};
+  std::atomic<bool> all_converged{true};
+  std::atomic<int> start_gate{clients};
+  // Warm the cache so the timed region measures serving, not the one setup.
+  (void)cache.get_or_setup(p.m, p.prob, cfg);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Timer wall;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + 17 * static_cast<std::uint64_t>(t));
+      start_gate.fetch_sub(1, std::memory_order_acq_rel);
+      while (start_gate.load(std::memory_order_acquire) > 0) {
+      }
+      for (int op = 0; op < ops; ++op) {
+        auto session = cache.get_or_setup(p.m, p.prob, cfg);
+        if (op % 2 == 0) {
+          std::vector<double> b(n);
+          for (double& v : b) v = rng.uniform(-1.0, 1.0);
+          std::vector<double> x(n, 0.0);
+          const auto res = session->solve(b, x);
+          if (!res.converged) all_converged.store(false);
+          solves.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::vector<std::vector<double>> bs(4);
+          for (auto& b : bs) {
+            b.resize(n);
+            for (double& v : b) v = rng.uniform(-1.0, 1.0);
+          }
+          std::vector<std::vector<double>> xs;
+          const auto results = session->solve_many(bs, xs);
+          for (const auto& res : results) {
+            if (!res.converged) all_converged.store(false);
+          }
+          solves.fetch_add(static_cast<long>(bs.size()),
+                           std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ServingResult r;
+  r.clients = clients;
+  r.solves = solves.load();
+  r.seconds = wall.seconds();
+  r.all_converged = all_converged.load();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Serving default: one OpenMP worker per library call, clients are the
+  // parallel axis. --threads restores inner parallelism for hybrid setups.
+  if (bench::find_flag(argc, argv, "--threads") == nullptr) {
+    set_num_threads(1);
+  }
+  const int threads = bench::apply_thread_flag(argc, argv);
+  const int ops = bench::find_flag(argc, argv, "--ops")
+                      ? std::atoi(bench::find_flag(argc, argv, "--ops"))
+                      : ops_for_scale();
+  std::vector<int> client_counts{1, 2, 4};
+  if (const char* spec = bench::find_flag(argc, argv, "--clients")) {
+    client_counts.clear();
+    std::istringstream in(spec);
+    for (int v; in >> v;) client_counts.push_back(v);
+  }
+
+  bench::print_header("Multi-client serving: solves/sec vs client threads");
+  const la::Index nodes = nodes_for_scale();
+  bench::Problem p = bench::make_problem(nodes, /*seed=*/7);
+  gnn::DssConfig mc;  // paper defaults: k̄=10, d=10, hidden=10 (untrained —
+                      // serving throughput, not convergence quality)
+  gnn::DssModel model(mc, /*seed=*/3);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("N=%d  inner threads=%d  hw threads=%u  ops/client=%d\n\n",
+              p.prob.A.rows(), threads, hw, ops);
+
+  std::vector<bench::JsonRecord> records;
+  records.push_back(bench::JsonRecord()
+                        .add("record", std::string("config"))
+                        .add("nodes", p.prob.A.rows())
+                        .add("hw_threads", static_cast<int>(hw))
+                        .add("ops_per_client", ops));
+
+  for (const char* precond : {"ddm-lu", "ddm-gnn"}) {
+    const bool is_gnn = std::string(precond) == "ddm-gnn";
+    core::HybridConfig cfg;
+    cfg.preconditioner = precond;
+    cfg.subdomain_target_nodes = 350;
+    cfg.rel_tol = 1e-6;
+    // The untrained model will not converge; throughput is what is measured,
+    // so its per-solve work is fixed at a hard iteration budget (recorded as
+    // all_converged=false). DDM-LU converges well inside its budget.
+    cfg.max_iterations = is_gnn ? 60 : 500;
+    cfg.track_history = false;
+    if (is_gnn) cfg.model = &model;
+    // LU solves are ~two orders of magnitude cheaper per RHS; give each
+    // client proportionally more rounds so both timed regions are meaningful.
+    const int precond_ops = is_gnn ? ops : ops * 10;
+
+    core::SessionCache cache(/*byte_budget=*/1u << 30);
+    std::printf("%-10s %8s %12s %12s %10s\n", precond, "clients",
+                "solves/sec", "seconds", "speedup");
+    double base = 0.0;
+    for (const int clients : client_counts) {
+      const ServingResult r = serve(cache, p, cfg, clients, precond_ops);
+      if (base == 0.0) base = r.solves_per_sec();
+      const double speedup = base > 0.0 ? r.solves_per_sec() / base : 0.0;
+      std::printf("%-10s %8d %12.2f %12.3f %9.2fx%s\n", "", r.clients,
+                  r.solves_per_sec(), r.seconds, speedup,
+                  r.all_converged ? "" : "  [not all converged]");
+      records.push_back(bench::JsonRecord()
+                            .add("record", std::string("serving"))
+                            .add("preconditioner", std::string(precond))
+                            .add("clients", r.clients)
+                            .add("ops_per_client", precond_ops)
+                            .add("solves", static_cast<int>(r.solves))
+                            .add("seconds", r.seconds)
+                            .add("solves_per_sec", r.solves_per_sec())
+                            .add("speedup_vs_1", speedup)
+                            .add("all_converged", r.all_converged));
+    }
+    const auto stats = cache.stats();
+    std::printf("%-10s cache: %zu hits / %zu misses / %zu evictions\n\n", "",
+                stats.hits, stats.misses, stats.evictions);
+    records.push_back(bench::JsonRecord()
+                          .add("record", std::string("cache"))
+                          .add("preconditioner", std::string(precond))
+                          .add("hits", static_cast<int>(stats.hits))
+                          .add("misses", static_cast<int>(stats.misses))
+                          .add("evictions", static_cast<int>(stats.evictions)));
+  }
+
+  std::filesystem::create_directories(artifact_dir());
+  const std::string path = artifact_dir() + "/bench_serving.json";
+  bench::write_json(path, records);
+  std::printf("JSON: %s\n", path.c_str());
+  return 0;
+}

@@ -28,7 +28,12 @@ class RecordingPreconditioner final : public precond::Preconditioner {
       : inner_(inner), dec_(dec), topologies_(topologies), sink_(sink),
         max_samples_(max_samples) {}
 
-  void apply(std::span<const double> r, std::span<double> z) const override {
+  using precond::Preconditioner::apply;
+  std::unique_ptr<precond::ApplyWorkspace> make_workspace() const override {
+    return inner_.make_workspace();  // recording itself needs no scratch
+  }
+  void apply(std::span<const double> r, std::span<double> z,
+             precond::ApplyWorkspace* ws) const override {
     for (la::Index i = 0; i < dec_.num_parts; ++i) {
       if (sink_.size() >= max_samples_) break;
       std::vector<double> r_loc(dec_.subdomains[i].size());
@@ -42,7 +47,7 @@ class RecordingPreconditioner final : public precond::Preconditioner {
       for (std::size_t l = 0; l < r_loc.size(); ++l) s.rhs[l] = r_loc[l] * inv;
       sink_.push_back(std::move(s));
     }
-    inner_.apply(r, z);
+    inner_.apply(r, z, ws);
   }
 
   std::string name() const override { return inner_.name() + "+record"; }

@@ -2,12 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "la/vector_ops.hpp"
 
 namespace ddmgnn::core {
+
+namespace {
+
+/// Per-caller inference scratch. One Lane per OpenMP thread of the caller's
+/// solve: the lanes are touched only inside this caller's parallel region,
+/// so two clients hammering the same solver never share a DssWorkspace (the
+/// former `static thread_local` did — across ALL solver instances — and was
+/// both a data race on concurrent sessions and an unaccounted leak).
+struct GnnWorkspace final : precond::SubdomainSolver::Workspace {
+  struct Lane {
+    gnn::DssWorkspace dss;
+    gnn::GraphSample sample;          // topo rebound per shard, rhs owned here
+    std::vector<float> out;
+    std::vector<double> scale;
+    std::vector<std::vector<double>> res;
+  };
+  std::vector<Lane> lanes;
+
+  Lane& lane(int thread) {
+    return lanes[static_cast<std::size_t>(thread)];
+  }
+  void ensure_lanes(int count) {
+    if (static_cast<int>(lanes.size()) < count) {
+      lanes.resize(static_cast<std::size_t>(count));
+    }
+  }
+};
+
+GnnWorkspace& workspace_of(precond::SubdomainSolver::Workspace* ws) {
+  auto* gws = dynamic_cast<GnnWorkspace*>(ws);
+  DDMGNN_CHECK(gws != nullptr,
+               "GnnSubdomainSolver: solve needs a workspace from this "
+               "solver's make_workspace()");
+  return *gws;
+}
+
+/// Merged-node budget per inference shard. Bounds the forward workspace (the
+/// per-edge tensors of all k̄ blocks) while still fusing several local
+/// problems into one DSS call; shard count never drops below the thread
+/// count, so the batched path keeps every core busy.
+constexpr la::Index kShardNodeBudget = 4096;
+
+std::size_t topology_bytes(const gnn::GraphTopology& t) {
+  return static_cast<std::size_t>(t.num_edges()) *
+             (2 * sizeof(la::Index) + 3 * sizeof(float) + sizeof(la::Index)) +
+         static_cast<std::size_t>(t.n + 1) * sizeof(la::Offset) +
+         static_cast<std::size_t>(t.n) * sizeof(std::uint8_t) +
+         static_cast<std::size_t>(t.a_local.nnz()) *
+             (sizeof(la::Index) + sizeof(double)) +
+         static_cast<std::size_t>(t.a_local.rows() + 1) * sizeof(la::Offset);
+}
+
+}  // namespace
 
 GnnSubdomainSolver::GnnSubdomainSolver(const gnn::DssModel& model,
                                        const mesh::Mesh& m,
@@ -37,8 +91,10 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
                                const partition::Decomposition& dec) {
   DDMGNN_CHECK(dec.num_nodes() == static_cast<la::Index>(coords_.size()),
                "GnnSubdomainSolver: geometry size mismatch");
-  shards_.clear();
-  shard_cols_ = -1;
+  {
+    std::unique_lock lock(plans_mutex_);
+    plans_.clear();
+  }
   const auto k = static_cast<la::Index>(local_matrices.size());
   topologies_.resize(k);
   edge_caches_.assign(k, nullptr);
@@ -65,34 +121,70 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
   });
 }
 
+std::unique_ptr<precond::SubdomainSolver::Workspace>
+GnnSubdomainSolver::make_workspace() const {
+  auto ws = std::make_unique<GnnWorkspace>();
+  ws->ensure_lanes(std::max(1, num_threads()));
+  return ws;
+}
+
+std::size_t GnnSubdomainSolver::workspace_bytes() const {
+  // Coarse steady-state estimate of one caller's warmed-up lanes: the DSS
+  // forward buffers are dominated by per-edge hidden activations and
+  // per-node latent/projection tensors; every lane ends up sized to the
+  // largest shard (≈ the merged node budget) it has processed.
+  long max_nodes = 0, max_edges = 0, total_nodes = 0;
+  for (const auto& t : topologies_) {
+    max_nodes = std::max<long>(max_nodes, t->n);
+    max_edges = std::max<long>(max_edges, t->num_edges());
+    total_nodes += t->n;
+  }
+  if (total_nodes == 0) return 0;
+  const double edges_per_node =
+      max_nodes > 0 ? static_cast<double>(max_edges) / max_nodes : 0.0;
+  const long shard_nodes = std::max<long>(max_nodes, kShardNodeBudget);
+  const long shard_edges = static_cast<long>(edges_per_node * shard_nodes);
+  const auto& cfg = model_->config();
+  const std::size_t per_lane =
+      static_cast<std::size_t>(shard_nodes) *
+          (4 * cfg.latent + 2 * cfg.hidden + cfg.update_input_dim() + 2) *
+          sizeof(float) +
+      static_cast<std::size_t>(shard_edges) *
+          (2 * cfg.hidden + cfg.latent) * sizeof(float) +
+      static_cast<std::size_t>(shard_nodes) * 2 * sizeof(double);
+  return per_lane * static_cast<std::size_t>(std::max(1, num_threads()));
+}
+
 void GnnSubdomainSolver::solve_all(
     const std::vector<std::vector<double>>& r_loc,
-    std::vector<std::vector<double>>& z_loc) const {
+    std::vector<std::vector<double>>& z_loc, Workspace* ws) const {
   DDMGNN_CHECK(r_loc.size() == topologies_.size(),
                "GnnSubdomainSolver: batch size mismatch");
-  const int nthreads = num_threads();
-  // Per-thread workspaces persist across applications (allocation-free in
-  // steady state) — the paper's Nb-batched inference maps to this thread pool.
-  static thread_local gnn::DssWorkspace tl_ws;
-  (void)nthreads;
-#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads())
+  GnnWorkspace& gws = workspace_of(ws);
+  // Read the thread count once: a concurrent set_num_threads() between
+  // sizing the lanes and forking the team must not leave the team wider
+  // than the lane array.
+  const int team = std::max(1, num_threads());
+  gws.ensure_lanes(team);
+#pragma omp parallel for schedule(dynamic, 1) num_threads(team)
   for (long i = 0; i < static_cast<long>(r_loc.size()); ++i) {
+    GnnWorkspace::Lane& lane = gws.lane(omp_get_thread_num());
     const auto& topo = topologies_[i];
     const auto& r = r_loc[i];
     auto& z = z_loc[i];
     const std::size_t n = r.size();
     z.assign(n, 0.0);
-    gnn::GraphSample sample;
+    gnn::GraphSample& sample = lane.sample;
     sample.topo = topo;
     sample.rhs.resize(n);
-    std::vector<float> out;
+    std::vector<float>& out = lane.out;
     std::vector<double> res(r.begin(), r.end());  // current local residual
     for (int pass = 0; pass <= options_.refinement_steps; ++pass) {
       const double norm = la::norm2(res);
       if (norm <= options_.zero_threshold) break;
       const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) sample.rhs[j] = res[j] * inv;
-      model_->forward(sample, edge_caches_[i].get(), tl_ws, out);
+      model_->forward(sample, edge_caches_[i].get(), lane.dss, out);
       const double scale = options_.normalize_input ? norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) {
         z[j] += scale * static_cast<double>(out[j]);
@@ -102,20 +194,22 @@ void GnnSubdomainSolver::solve_all(
       topo->a_local.multiply(z, res);
       for (std::size_t j = 0; j < n; ++j) res[j] = r[j] - res[j];
     }
+    sample.topo.reset();  // drop the shared ref; the rhs buffer stays warm
   }
 }
 
 namespace {
 
-/// Merged-node budget per inference shard. Bounds the forward workspace (the
-/// per-edge tensors of all k̄ blocks) while still fusing several local
-/// problems into one DSS call; shard count never drops below the thread
-/// count, so the batched path keeps every core busy.
-constexpr la::Index kShardNodeBudget = 4096;
+/// Shard plans retained per solver. Deflation walks the column count down
+/// during a solve and repeated solve_many calls revisit the same counts, so
+/// a handful of plans covers steady-state serving; each plan holds merged
+/// topology copies, so the cache is deliberately small.
+constexpr std::size_t kMaxShardPlans = 6;
 
 }  // namespace
 
-void GnnSubdomainSolver::build_shards(la::Index s) const {
+GnnSubdomainSolver::ShardPlan GnnSubdomainSolver::build_shards(
+    la::Index s) const {
   const auto k = static_cast<la::Index>(topologies_.size());
   long total_nodes = 0;
   for (const auto& t : topologies_) total_nodes += t->n;
@@ -128,8 +222,8 @@ void GnnSubdomainSolver::build_shards(la::Index s) const {
                                  std::max<long>(by_budget, num_threads())));
   const long node_target = (total_nodes + nshards - 1) / nshards;
 
-  shards_.clear();
-  shards_.reserve(nshards);
+  ShardPlan plan;
+  plan.shards.reserve(nshards);
   // Column-major task order so one shard holds whole subdomain groups of a
   // column before moving on; packing closes a shard at the node target.
   std::vector<ShardTask> tasks;
@@ -145,11 +239,14 @@ void GnnSubdomainSolver::build_shards(la::Index s) const {
       shard.tasks[t].slot = static_cast<la::Index>(t);
     }
     shard.batch = gnn::batch_samples(samples);
+    plan.bytes += topology_bytes(*shard.batch.merged.topo) +
+                  shard.batch.merged.rhs.size() * sizeof(double);
     if (model_->config().fast_inference) {
       shard.cache = std::make_shared<const gnn::DssEdgeCache>(
           model_->precompute_edges(*shard.batch.merged.topo));
+      plan.bytes += shard.cache->bytes();
     }
-    shards_.push_back(std::move(shard));
+    plan.shards.push_back(std::move(shard));
     tasks.clear();
     shard_nodes = 0;
   };
@@ -163,29 +260,74 @@ void GnnSubdomainSolver::build_shards(la::Index s) const {
     }
   }
   flush();
-  shard_cols_ = s;
+  return plan;
+}
+
+std::shared_ptr<const GnnSubdomainSolver::ShardPlan>
+GnnSubdomainSolver::plan_for(la::Index s) const {
+  {
+    std::shared_lock lock(plans_mutex_);
+    for (const auto& [cols, plan] : plans_) {
+      if (cols == s) return plan;
+    }
+  }
+  std::unique_lock lock(plans_mutex_);
+  for (const auto& [cols, plan] : plans_) {  // lost the build race?
+    if (cols == s) return plan;
+  }
+  // Building under the writer lock serializes plan construction (stampede
+  // safety: concurrent first-comers at one column count pay one build); the
+  // read path above stays contention-free for warmed-up column counts.
+  auto plan = std::make_shared<const ShardPlan>(build_shards(s));
+  plans_.emplace_back(s, plan);
+  if (plans_.size() > kMaxShardPlans) {
+    // Evict the smallest column count EXCLUDING the plan just inserted —
+    // small merges are the cheapest to rebuild, but evicting the newcomer
+    // itself would make every iteration at its width a miss+rebuild.
+    const auto smallest = std::min_element(
+        plans_.begin(), plans_.end() - 1,
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    plans_.erase(smallest);  // in-flight users hold their shared_ptr
+  }
+  return plan;
+}
+
+std::size_t GnnSubdomainSolver::plan_cache_bytes() const {
+  std::shared_lock lock(plans_mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [cols, plan] : plans_) bytes += plan->bytes;
+  return bytes;
 }
 
 void GnnSubdomainSolver::solve_all_block(
     const std::vector<la::MultiVector>& r_loc,
-    std::vector<la::MultiVector>& z_loc) const {
+    std::vector<la::MultiVector>& z_loc, Workspace* ws) const {
   DDMGNN_CHECK(r_loc.size() == topologies_.size(),
                "GnnSubdomainSolver: block batch size mismatch");
   if (r_loc.empty()) return;
+  GnnWorkspace& gws = workspace_of(ws);
+  const int team = std::max(1, num_threads());  // once — see solve_all
+  gws.ensure_lanes(team);
   const la::Index s = r_loc[0].cols();
-  if (s != shard_cols_) build_shards(s);
+  const std::shared_ptr<const ShardPlan> plan = plan_for(s);
   for (auto& z : z_loc) z.fill(0.0);
 
-#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads())
-  for (long sh = 0; sh < static_cast<long>(shards_.size()); ++sh) {
-    Shard& shard = shards_[sh];
-    static thread_local gnn::DssWorkspace tl_ws;
-    std::vector<float> out;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(team)
+  for (long sh = 0; sh < static_cast<long>(plan->shards.size()); ++sh) {
+    const Shard& shard = plan->shards[sh];
+    GnnWorkspace::Lane& lane = gws.lane(omp_get_thread_num());
     const std::size_t nt = shard.tasks.size();
-    std::vector<double> scale(nt, 0.0);
-    std::vector<std::vector<double>> res(options_.refinement_steps > 0 ? nt
-                                                                       : 0);
-    auto& rhs = shard.batch.merged.rhs;
+    // The shard's merged sample is shared read-only; the rhs channel of this
+    // application lives in the lane (rebound topo + workspace-owned buffer).
+    gnn::GraphSample& merged = lane.sample;
+    merged.topo = shard.batch.merged.topo;
+    merged.rhs.resize(shard.batch.merged.rhs.size());
+    std::vector<float>& out = lane.out;
+    lane.scale.assign(nt, 0.0);
+    std::vector<double>& rhs = merged.rhs;
+    if (options_.refinement_steps > 0) {
+      lane.res.resize(nt);
+    }
     for (int pass = 0; pass <= options_.refinement_steps; ++pass) {
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
@@ -193,39 +335,42 @@ void GnnSubdomainSolver::solve_all_block(
         const la::Index off = shard.batch.offsets[task.slot];
         const std::span<const double> cur =
             pass == 0 ? r_loc[task.part].col(task.column)
-                      : std::span<const double>(res[t]);
+                      : std::span<const double>(lane.res[t]);
         const double norm = la::norm2(cur);
         if (norm <= options_.zero_threshold) {
           // Below threshold the scalar path stops refining this task; a zero
           // rhs slice (and zero scale) contributes exactly nothing here.
-          scale[t] = 0.0;
+          lane.scale[t] = 0.0;
           std::fill(rhs.begin() + off, rhs.begin() + off + n, 0.0);
           continue;
         }
         const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
         for (la::Index l = 0; l < n; ++l) rhs[off + l] = cur[l] * inv;
-        scale[t] = options_.normalize_input ? norm : 1.0;
+        lane.scale[t] = options_.normalize_input ? norm : 1.0;
       }
-      model_->forward(shard.batch.merged, shard.cache.get(), tl_ws, out);
+      model_->forward(merged, shard.cache.get(), lane.dss, out);
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
         const la::Index n = topologies_[task.part]->n;
         const la::Index off = shard.batch.offsets[task.slot];
         auto z = z_loc[task.part].col(task.column);
         for (la::Index l = 0; l < n; ++l) {
-          z[l] += scale[t] * static_cast<double>(out[off + l]);
+          z[l] += lane.scale[t] * static_cast<double>(out[off + l]);
         }
       }
       if (pass == options_.refinement_steps) break;
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
         const auto& topo = topologies_[task.part];
-        res[t].resize(topo->n);
-        topo->a_local.multiply(z_loc[task.part].col(task.column), res[t]);
+        lane.res[t].resize(topo->n);
+        topo->a_local.multiply(z_loc[task.part].col(task.column), lane.res[t]);
         const auto r = r_loc[task.part].col(task.column);
-        for (la::Index l = 0; l < topo->n; ++l) res[t][l] = r[l] - res[t][l];
+        for (la::Index l = 0; l < topo->n; ++l) {
+          lane.res[t][l] = r[l] - lane.res[t][l];
+        }
       }
     }
+    merged.topo.reset();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -98,7 +99,9 @@ bool configs_equal(const HybridConfig& a, const HybridConfig& b) {
 
 struct SessionCache::Entry {
   std::uint64_t fingerprint = 0;
-  // Owned copies of everything the prepared session points into.
+  // Owned copies of everything the prepared session points into. All key
+  // material is written once, before the entry is published into its shard,
+  // so shard-locked scans may compare against it while setup is running.
   la::CsrMatrix A;
   std::vector<std::uint8_t> dirichlet;
   std::vector<mesh::Point2> coordinates;
@@ -110,65 +113,147 @@ struct SessionCache::Entry {
   HybridConfig cfg;
   SolverSession session;
   std::size_t bytes = 0;
+  /// Stampede collapse: the one setup for this key runs inside this flag;
+  /// concurrent callers block here until the session is prepared.
+  std::once_flag setup_once;
+  /// True once setup has completed — the entry is then eligible for
+  /// eviction.
+  std::atomic<bool> ready{false};
+  /// Whether `bytes` is currently included in the cache-wide total. Guarded
+  /// by the owning shard's mutex; accounting happens only for entries that
+  /// are (still) published in a shard, so an entry removed mid-setup (clear,
+  /// failed-setup retry) can never leak bytes into the total.
+  bool accounted = false;
+  /// Global-LRU recency stamp (cache clock value of the last touch).
+  std::atomic<std::uint64_t> last_used{0};
+
+  std::size_t measure() const {
+    return session.memory_bytes() + dirichlet.size() +
+           coordinates.size() * sizeof(mesh::Point2) +
+           graph_ptr.size() * sizeof(la::Offset) +
+           graph_idx.size() * sizeof(la::Index);
+  }
 };
+
+void SessionCache::run_setup(Entry& e) {
+  AlgebraicOptions owned_opts;
+  owned_opts.dirichlet = e.dirichlet;
+  owned_opts.coordinates = e.coordinates;
+  if (!e.graph_ptr.empty()) {
+    // Mesh-keyed: identical to setup(mesh, prob, cfg) — same graph, coords
+    // and mask — but run against the entry's operator copy so the prepared
+    // state points into the cache, not the caller.
+    e.session.setup_from_graph(e.A, e.cfg, e.graph_ptr, e.graph_idx,
+                               owned_opts);
+  } else {
+    e.session.setup(e.A, e.cfg, owned_opts);
+  }
+  // Further setup() on this shared session would re-key it out from under
+  // the fingerprint index (and every concurrent holder).
+  e.session.lock_setup();
+  e.ready.store(true, std::memory_order_release);
+}
 
 std::shared_ptr<SolverSession> SessionCache::lookup_or_insert(
     std::uint64_t fingerprint, const la::CsrMatrix& A, const HybridConfig& cfg,
     const AlgebraicOptions& opts, const mesh::Mesh* m) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    Entry& e = **it;
-    if (e.fingerprint != fingerprint) continue;
-    // Exact verification: a colliding fingerprint must degrade to a miss.
-    const bool entry_mesh_keyed = !e.graph_ptr.empty();
-    if (entry_mesh_keyed != (m != nullptr)) continue;
-    if (m != nullptr &&
-        (!spans_equal(std::span<const la::Offset>(e.graph_ptr), m->adj_ptr()) ||
-         !spans_equal(std::span<const la::Index>(e.graph_idx), m->adj()))) {
-      continue;
+  Shard& shard = shards_[fingerprint % kNumShards];
+  std::shared_ptr<Entry> entry;
+  bool inserted = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& e : shard.entries) {
+      if (e->fingerprint != fingerprint) continue;
+      // Exact verification: a colliding fingerprint must degrade to a miss.
+      const bool entry_mesh_keyed = !e->graph_ptr.empty();
+      if (entry_mesh_keyed != (m != nullptr)) continue;
+      if (m != nullptr &&
+          (!spans_equal(std::span<const la::Offset>(e->graph_ptr),
+                        m->adj_ptr()) ||
+           !spans_equal(std::span<const la::Index>(e->graph_idx), m->adj()))) {
+        continue;
+      }
+      if (!configs_equal(e->cfg, cfg) || !matrices_equal(e->A, A) ||
+          !spans_equal(std::span<const std::uint8_t>(e->dirichlet),
+                       opts.dirichlet) ||
+          !spans_equal(std::span<const mesh::Point2>(e->coordinates),
+                       opts.coordinates)) {
+        continue;
+      }
+      entry = e;
+      break;
     }
-    if (!configs_equal(e.cfg, cfg) || !matrices_equal(e.A, A) ||
-        !spans_equal(std::span<const std::uint8_t>(e.dirichlet),
-                     opts.dirichlet) ||
-        !spans_equal(std::span<const mesh::Point2>(e.coordinates),
-                     opts.coordinates)) {
-      continue;
+    if (entry == nullptr) {
+      entry = std::make_shared<Entry>();
+      entry->fingerprint = fingerprint;
+      entry->A = A;  // private copy: must outlive the caller's matrix
+      entry->dirichlet.assign(opts.dirichlet.begin(), opts.dirichlet.end());
+      entry->coordinates.assign(opts.coordinates.begin(),
+                                opts.coordinates.end());
+      entry->cfg = cfg;
+      if (m != nullptr) {
+        entry->graph_ptr.assign(m->adj_ptr().begin(), m->adj_ptr().end());
+        entry->graph_idx.assign(m->adj().begin(), m->adj().end());
+      }
+      shard.entries.push_back(entry);
+      inserted = true;
     }
-    ++stats_.hits;
-    entries_.splice(entries_.begin(), entries_, it);  // mark most-recent
-    return {*it, &(*it)->session};
+    entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+  }
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A waiter that arrives while the first caller is still inside setup is
+    // a hit: it shares that one setup instead of paying its own (1 miss +
+    // N−1 hits for an N-thread stampede).
+    hits_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  ++stats_.misses;
-  auto entry = std::make_shared<Entry>();
-  entry->fingerprint = fingerprint;
-  entry->A = A;  // private copy: the session must outlive the caller's matrix
-  entry->dirichlet.assign(opts.dirichlet.begin(), opts.dirichlet.end());
-  entry->coordinates.assign(opts.coordinates.begin(), opts.coordinates.end());
-  entry->cfg = cfg;
-  AlgebraicOptions owned_opts;
-  owned_opts.dirichlet = entry->dirichlet;
-  owned_opts.coordinates = entry->coordinates;
-  if (m != nullptr) {
-    // Mesh-keyed: identical to setup(mesh, prob, cfg) — same graph, coords
-    // and mask — but run against the entry's operator copy so the prepared
-    // state points into the cache, not the caller.
-    entry->graph_ptr.assign(m->adj_ptr().begin(), m->adj_ptr().end());
-    entry->graph_idx.assign(m->adj().begin(), m->adj().end());
-    entry->session.setup_from_graph(entry->A, cfg, entry->graph_ptr,
-                                    entry->graph_idx, owned_opts);
-  } else {
-    entry->session.setup(entry->A, cfg, owned_opts);
+  // The setup itself runs outside every shard lock — long setups must not
+  // block lookups of other operators (or eviction). call_once both
+  // collapses the stampede and publishes the prepared state to waiters.
+  try {
+    std::call_once(entry->setup_once, [&] { run_setup(*entry); });
+  } catch (...) {
+    // Failed setup (unknown name, missing model, …): unpublish the entry so
+    // the key is retryable, then surface the error to this caller. Another
+    // stampeding waiter retries the setup via call_once semantics and
+    // reaches this same path.
+    std::lock_guard lock(shard.mutex);
+    auto& v = shard.entries;
+    v.erase(std::remove(v.begin(), v.end(), entry), v.end());
+    throw;
   }
-  entry->bytes = entry->session.memory_bytes() +
-                 entry->dirichlet.size() +
-                 entry->coordinates.size() * sizeof(mesh::Point2) +
-                 entry->graph_ptr.size() * sizeof(la::Offset) +
-                 entry->graph_idx.size() * sizeof(la::Index);
-  bytes_ += entry->bytes;
-  entries_.push_front(entry);
-  evict_over_budget();
-  auto& front = entries_.front();
-  return {front, &front->session};
+
+  // Re-measure on every touch: first touch accounts the freshly prepared
+  // state, later hits fold in growth the session accrued since (the GNN
+  // block path builds merged-shard plans lazily per column count — the
+  // budget must see them, or a ddm-gnn cache would silently exceed its
+  // configured bytes). The measurement walks session state, so it runs
+  // BEFORE taking the shard lock — concurrent hits on one shard must not
+  // serialize behind it — and is folded in only while the entry is still
+  // published in the shard (an entry removed mid-flight leaks nothing).
+  const std::size_t now = entry->measure();
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = std::find(shard.entries.begin(), shard.entries.end(),
+                              entry);
+    if (it != shard.entries.end()) {
+      if (!entry->accounted) {
+        entry->accounted = true;
+        entry->bytes = now;
+        bytes_.fetch_add(now, std::memory_order_relaxed);
+      } else if (now > entry->bytes) {
+        bytes_.fetch_add(now - entry->bytes, std::memory_order_relaxed);
+        entry->bytes = now;
+      }
+    }
+  }
+  if (bytes_.load(std::memory_order_relaxed) > byte_budget_) {
+    evict_over_budget();
+  }
+  return {entry, &entry->session};
 }
 
 std::shared_ptr<SolverSession> SessionCache::get_or_setup(
@@ -189,16 +274,73 @@ std::shared_ptr<SolverSession> SessionCache::get_or_setup(
 }
 
 void SessionCache::evict_over_budget() {
-  while (bytes_ > byte_budget_ && entries_.size() > 1) {
-    bytes_ -= entries_.back()->bytes;
-    entries_.pop_back();  // holders of aliased shared_ptrs keep it alive
-    ++stats_.evictions;
+  // One evictor at a time; lookups and inserts proceed concurrently (they
+  // only nudge bytes_ upward, which the loop re-reads every round).
+  std::lock_guard evict_lock(evict_mutex_);
+  while (bytes_.load(std::memory_order_relaxed) > byte_budget_) {
+    // Find the globally least-recently-used *ready* entry. Entries mid-setup
+    // are skipped: their bytes are not accounted yet and evicting them would
+    // orphan the stampede's waiters.
+    Shard* victim_shard = nullptr;
+    std::shared_ptr<Entry> victim;
+    std::size_t total_ready = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      for (const auto& e : shard.entries) {
+        if (!e->ready.load(std::memory_order_acquire)) continue;
+        ++total_ready;
+        if (victim == nullptr ||
+            e->last_used.load(std::memory_order_relaxed) <
+                victim->last_used.load(std::memory_order_relaxed)) {
+          victim = e;
+          victim_shard = &shard;
+        }
+      }
+    }
+    // An over-budget single entry is admitted; nothing to trim.
+    if (victim == nullptr || total_ready <= 1) return;
+    {
+      std::lock_guard lock(victim_shard->mutex);
+      auto& v = victim_shard->entries;
+      const auto it = std::find(v.begin(), v.end(), victim);
+      if (it == v.end()) continue;  // raced with clear(); re-scan
+      v.erase(it);  // holders of aliased shared_ptrs keep the session alive
+      if (victim->accounted) {
+        bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
+      }
+    }
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
+SessionCache::Stats SessionCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SessionCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
 void SessionCache::clear() {
-  entries_.clear();
-  bytes_ = 0;
+  std::lock_guard evict_lock(evict_mutex_);
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& e : shard.entries) {
+      if (e->accounted) {
+        bytes_.fetch_sub(e->bytes, std::memory_order_relaxed);
+      }
+    }
+    shard.entries.clear();
+  }
 }
 
 }  // namespace ddmgnn::core

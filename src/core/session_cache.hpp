@@ -14,31 +14,50 @@
 // Ownership: each entry owns a private copy of its operator (and mesh /
 // problem for the mesh-keyed overload), so cached sessions never dangle when
 // the caller's matrix goes out of scope. Returned shared_ptrs alias the
-// entry — an evicted-but-still-held session stays fully usable. The one
-// reference an entry does NOT own is cfg.model: trained models are large and
-// shared, so GNN-preconditioned entries require the model to outlive the
+// entry — an evicted-but-still-held session stays fully usable, which is
+// also what makes eviction safe under concurrency: the cache can only drop
+// its own reference, never free a session another thread is solving on. The
+// one reference an entry does NOT own is cfg.model: trained models are large
+// and shared, so GNN-preconditioned entries require the model to outlive the
 // cache (the model pointer is part of the fingerprint).
+//
+// Concurrency: get_or_setup is safe from any number of threads. The key
+// index is sharded by fingerprint (one mutex per shard, held only for scans
+// and list surgery — never across a setup or a solve), and setup stampedes
+// are collapsed per fingerprint: the first caller runs the one setup inside
+// the entry's std::call_once while every concurrent caller for the same key
+// blocks on that flag and then shares the prepared session — N threads
+// racing for one cold operator cost exactly one setup (1 miss + N−1 hits).
+// Stats counters are atomics; stats() returns a snapshot. Solving on the
+// returned sessions concurrently is safe because prepared sessions are
+// immutable at solve time (see the Preconditioner apply-workspace contract);
+// the solve-time *toggles* below are the deliberate exception.
 //
 // Sharing contract: every hit hands out the SAME session object, mutably —
 // deliberately, so solve-time toggles (set_method, set_block_multi_rhs) work
-// on cached sessions for A/B comparisons. Those toggles affect every holder,
-// and calling setup() on a cache-returned session is forbidden: it would
-// re-key the shared prepared state out from under the entry's stored
-// fingerprint (and can leave the session pointing at a caller-owned matrix
-// the cache does not keep alive). Re-key through the cache instead —
-// get_or_setup with the new operator/config. Single-threaded by design.
+// on cached sessions for A/B comparisons. Those toggles affect every holder
+// (flip them only while no other client is mid-solve), and calling setup()
+// on a cache-returned session throws ContractError — it would re-key the
+// shared prepared state out from under the entry's stored fingerprint.
+// Re-key through the cache instead — get_or_setup with the new
+// operator/config.
 //
 // Eviction: least-recently-used by a byte budget, measured with
-// SolverSession::memory_bytes() plus the entry's owned copies. A single
-// entry larger than the whole budget is admitted (the alternative — refusing
-// to cache — silently re-pays setup forever) and becomes the first eviction
-// candidate.
+// SolverSession::memory_bytes() plus the entry's owned copies and
+// re-measured on every touch — state a session builds lazily after setup
+// (the GNN block path's merged-shard plans) is folded into the budget at
+// the next hit instead of escaping it. Recency is a global atomic clock, so
+// LRU order spans all shards. A single entry larger than the whole budget
+// is admitted (the alternative — refusing to cache — silently re-pays setup
+// forever) and becomes the first eviction candidate.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/solver_session.hpp"
@@ -67,27 +86,48 @@ class SessionCache {
       const la::CsrMatrix& A, const HybridConfig& cfg,
       const AlgebraicOptions& opts = {});
 
-  const Stats& stats() const { return stats_; }
-  std::size_t size() const { return entries_.size(); }
-  std::size_t size_bytes() const { return bytes_; }
+  /// Counter snapshot (consistent enough for monitoring; each counter is
+  /// individually exact).
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t size_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
   std::size_t byte_budget() const { return byte_budget_; }
+  /// Drop every entry (held sessions stay alive via their aliased
+  /// shared_ptrs). Not counted as evictions.
   void clear();
 
  private:
   struct Entry;
+  /// Key-index shards: fingerprint → shard, one mutex per shard so
+  /// unrelated operators never contend. Entries within a shard are scanned
+  /// linearly (caches hold a handful of operators, and a hit's exact-verify
+  /// already touches the arrays).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<Entry>> entries;
+  };
+  static constexpr std::size_t kNumShards = 8;
 
   std::shared_ptr<SolverSession> lookup_or_insert(
       std::uint64_t fingerprint, const la::CsrMatrix& A,
       const HybridConfig& cfg, const AlgebraicOptions& opts,
       const mesh::Mesh* m);
+  void run_setup(Entry& e);
   void evict_over_budget();
 
   std::size_t byte_budget_;
-  std::size_t bytes_ = 0;
-  Stats stats_;
-  /// MRU-first list; linear fingerprint scan (caches hold a handful of
-  /// operators, and a hit's exact-verify already touches the arrays).
-  std::list<std::shared_ptr<Entry>> entries_;
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
+  /// Global recency clock: every touch stamps the entry, eviction removes
+  /// the smallest stamp across all shards.
+  std::atomic<std::uint64_t> clock_{0};
+  /// Serializes eviction passes (insertions/touches stay concurrent).
+  std::mutex evict_mutex_;
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace ddmgnn::core

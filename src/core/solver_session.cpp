@@ -24,11 +24,22 @@ void SolverSession::reset_setup_state() {
   setup_seconds_ = 0.0;
 }
 
+void SolverSession::check_setup_allowed() const {
+  DDMGNN_CHECK(!setup_locked_,
+               "SolverSession::setup on a cache-owned session: this session "
+               "is shared through a core::SessionCache and re-keying it "
+               "would corrupt the cache's fingerprint index for every other "
+               "holder. Re-key through the cache instead: call "
+               "SessionCache::get_or_setup with the new operator/config "
+               "(misses prepare a fresh entry; the old one stays valid).");
+}
+
 void SolverSession::setup_from_graph(const la::CsrMatrix& A,
                                      const HybridConfig& cfg,
                                      std::span<const la::Offset> adj_ptr,
                                      std::span<const la::Index> adj,
                                      const AlgebraicOptions& opts) {
+  check_setup_allowed();
   reset_setup_state();
   cfg_ = cfg;
   DDMGNN_CHECK(adj_ptr.size() == static_cast<std::size_t>(A.rows()) + 1,
@@ -86,6 +97,7 @@ void SolverSession::setup(const mesh::Mesh& m, const fem::PoissonProblem& prob,
 
 void SolverSession::setup(const la::CsrMatrix& A, const HybridConfig& cfg,
                           const AlgebraicOptions& opts) {
+  check_setup_allowed();
   reset_setup_state();
   DDMGNN_CHECK(A.rows() == A.cols(),
                "setup(A): operator must be square, got " +
@@ -199,11 +211,18 @@ std::size_t SolverSession::memory_bytes() const {
       bytes += nodes.size() * nodes.size() * sizeof(double);
     }
   }
+  // One concurrent solve's worth of apply-workspace scratch. Per-call
+  // workspaces replaced the old `static thread_local` DSS buffers, which
+  // this estimate used to omit entirely; counting one solve keeps the
+  // SessionCache byte budget honest for the common one-client-per-session
+  // case (heavier fan-in scales the transient scratch, not the cached state).
+  if (m_inv_) bytes += m_inv_->workspace_bytes();
   // The GNN local solver additionally holds per-topology attr-projection
-  // caches (the factorized inference engine's setup-time precompute); count
-  // them so the SessionCache byte budget stays honest for ddm-gnn sessions.
-  // Merged-shard caches are built lazily per column count and excluded from
-  // this (intentionally coarse) estimate.
+  // caches (the factorized inference engine's setup-time precompute) and the
+  // block path's merged-shard plan cache; count both so the SessionCache
+  // byte budget stays honest for ddm-gnn sessions. Plans are built lazily
+  // per column count, so this (intentionally coarse) estimate grows after
+  // the first solve_many.
   if (const auto* schwarz =
           dynamic_cast<const precond::AdditiveSchwarz*>(m_inv_.get())) {
     if (const auto* gnn_local = dynamic_cast<const GnnSubdomainSolver*>(
@@ -211,6 +230,7 @@ std::size_t SolverSession::memory_bytes() const {
       for (const auto& cache : gnn_local->edge_caches()) {
         if (cache) bytes += cache->bytes();
       }
+      bytes += gnn_local->plan_cache_bytes();
     }
   }
   return bytes;

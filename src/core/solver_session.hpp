@@ -171,15 +171,27 @@ class SolverSession {
   const precond::Preconditioner& preconditioner() const;
   const HybridConfig& config() const { return cfg_; }
   /// Rough bytes held by the prepared state: the operator's CSR views, the
-  /// decomposition node lists, and a dense-factor-style bound on the local
+  /// decomposition node lists, a dense-factor-style bound on the local
   /// solver storage (Σ |Ω_i|² doubles when a decomposition exists — an upper
-  /// estimate for the GNN variants). Used by core::SessionCache's byte
-  /// budget; 0 before setup().
+  /// estimate for the GNN variants), plus one concurrent solve's worth of
+  /// preconditioner apply-workspace scratch (the per-solve buffers the old
+  /// `static thread_local` workspaces used to hide). Used by
+  /// core::SessionCache's byte budget; 0 before setup().
   std::size_t memory_bytes() const;
+
+  /// Forbid any further setup() on this session: all three setup entry
+  /// points then throw ContractError. The SessionCache locks every session
+  /// it hands out — re-keying a shared session would corrupt the cache's
+  /// fingerprint index out from under concurrent holders; re-key through
+  /// SessionCache::get_or_setup with the new operator/config instead.
+  void lock_setup() { setup_locked_ = true; }
+  bool setup_locked() const { return setup_locked_; }
 
  private:
   void reset_setup_state();
+  void check_setup_allowed() const;
 
+  bool setup_locked_ = false;
   HybridConfig cfg_;
   solver::KrylovMethod method_ = solver::KrylovMethod::kPcg;
   const la::CsrMatrix* a_ = nullptr;

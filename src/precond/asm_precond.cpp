@@ -9,7 +9,7 @@ using la::Index;
 
 void SubdomainSolver::solve_all_block(
     const std::vector<la::MultiVector>& r_loc,
-    std::vector<la::MultiVector>& z_loc) const {
+    std::vector<la::MultiVector>& z_loc, Workspace* ws) const {
   const std::size_t k = r_loc.size();
   DDMGNN_CHECK(z_loc.size() == k, "solve_all_block: batch size");
   const Index s = k == 0 ? 0 : r_loc[0].cols();
@@ -22,7 +22,7 @@ void SubdomainSolver::solve_all_block(
     for (std::size_t i = 0; i < k; ++i) {
       la::copy(r_loc[i].col(j), r_col[i]);
     }
-    solve_all(r_col, z_col);
+    solve_all(r_col, z_col, ws);
     for (std::size_t i = 0; i < k; ++i) {
       la::copy(z_col[i], z_loc[i].col(j));
     }
@@ -41,7 +41,7 @@ void CholeskySubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
 
 void CholeskySubdomainSolver::solve_all(
     const std::vector<std::vector<double>>& r_loc,
-    std::vector<std::vector<double>>& z_loc) const {
+    std::vector<std::vector<double>>& z_loc, Workspace*) const {
   DDMGNN_CHECK(r_loc.size() == factors_.size(), "solve_all: batch size");
   parallel_for_dynamic(static_cast<long>(r_loc.size()), [&](long i) {
     z_loc[i] = factors_[i]->solve(r_loc[i]);
@@ -50,7 +50,7 @@ void CholeskySubdomainSolver::solve_all(
 
 void CholeskySubdomainSolver::solve_all_block(
     const std::vector<la::MultiVector>& r_loc,
-    std::vector<la::MultiVector>& z_loc) const {
+    std::vector<la::MultiVector>& z_loc, Workspace*) const {
   DDMGNN_CHECK(r_loc.size() == factors_.size(), "solve_all_block: batch size");
   parallel_for_dynamic(static_cast<long>(r_loc.size()), [&](long i) {
     const la::MultiVector& r = r_loc[i];
@@ -61,6 +61,16 @@ void CholeskySubdomainSolver::solve_all_block(
     }
   });
 }
+
+struct AdditiveSchwarz::Scratch final : ApplyWorkspace {
+  // Reused per-apply buffers.
+  std::vector<std::vector<double>> r_loc;
+  std::vector<std::vector<double>> z_loc;
+  // Block-path scratch (resized to the current column count s).
+  std::vector<la::MultiVector> r_blk;
+  std::vector<la::MultiVector> z_blk;
+  std::unique_ptr<SubdomainSolver::Workspace> local;
+};
 
 AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
                                  const partition::Decomposition& dec,
@@ -78,27 +88,53 @@ AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
   if (config_.two_level) {
     coarse_.emplace(a, dec);
   }
-  r_loc_.resize(k);
-  z_loc_.resize(k);
+}
+
+std::unique_ptr<ApplyWorkspace> AdditiveSchwarz::make_workspace() const {
+  auto ws = std::make_unique<Scratch>();
+  const Index k = dec_->num_parts;
+  ws->r_loc.resize(k);
+  ws->z_loc.resize(k);
   for (Index i = 0; i < k; ++i) {
-    r_loc_[i].resize(dec.subdomains[i].size());
-    z_loc_[i].resize(dec.subdomains[i].size());
+    ws->r_loc[i].resize(dec_->subdomains[i].size());
+    ws->z_loc[i].resize(dec_->subdomains[i].size());
   }
+  ws->local = solver_->make_workspace();
+  return ws;
+}
+
+std::size_t AdditiveSchwarz::workspace_bytes() const {
+  std::size_t local_nodes = 0;
+  for (const auto& nodes : dec_->subdomains) local_nodes += nodes.size();
+  // r_loc + z_loc doubles (the block path adds s columns of the same — the
+  // estimate stays at the single-RHS footprint) plus the local solver's own
+  // scratch.
+  return 2 * local_nodes * sizeof(double) + solver_->workspace_bytes();
+}
+
+AdditiveSchwarz::Scratch& AdditiveSchwarz::scratch_of(
+    ApplyWorkspace* ws) const {
+  auto* scratch = dynamic_cast<Scratch*>(ws);
+  DDMGNN_CHECK(scratch != nullptr,
+               "ASM::apply needs a workspace from this preconditioner's "
+               "make_workspace() (or use the 2-argument convenience apply)");
+  return *scratch;
 }
 
 void AdditiveSchwarz::apply(std::span<const double> r,
-                            std::span<double> z) const {
+                            std::span<double> z, ApplyWorkspace* ws) const {
   const Index n = dec_->num_nodes();
   DDMGNN_CHECK(r.size() == static_cast<std::size_t>(n) && z.size() == r.size(),
                "ASM::apply dims");
+  Scratch& scratch = scratch_of(ws);
   const Index k = dec_->num_parts;
   for (Index i = 0; i < k; ++i) {
-    dec_->restrict_to(i, r, r_loc_[i]);
+    dec_->restrict_to(i, r, scratch.r_loc[i]);
   }
-  solver_->solve_all(r_loc_, z_loc_);
+  solver_->solve_all(scratch.r_loc, scratch.z_loc, scratch.local.get());
   std::fill(z.begin(), z.end(), 0.0);
   for (Index i = 0; i < k; ++i) {
-    dec_->prolong_add(i, z_loc_[i], z);
+    dec_->prolong_add(i, scratch.z_loc[i], z);
   }
   if (coarse_) {
     coarse_->apply_add(r, z);
@@ -106,28 +142,29 @@ void AdditiveSchwarz::apply(std::span<const double> r,
 }
 
 void AdditiveSchwarz::apply_many(const la::MultiVector& r,
-                                 la::MultiVector& z) const {
+                                 la::MultiVector& z, ApplyWorkspace* ws) const {
   const Index n = dec_->num_nodes();
   const Index s = r.cols();
   DDMGNN_CHECK(r.rows() == n && z.rows() == n && z.cols() == s,
                "ASM::apply_many dims");
+  Scratch& scratch = scratch_of(ws);
   const Index k = dec_->num_parts;
-  if (r_blk_.empty()) {
-    r_blk_.resize(k);
-    z_blk_.resize(k);
+  if (scratch.r_blk.empty()) {
+    scratch.r_blk.resize(k);
+    scratch.z_blk.resize(k);
   }
   for (Index i = 0; i < k; ++i) {
     const auto ni = static_cast<Index>(dec_->subdomains[i].size());
-    if (r_blk_[i].rows() != ni || r_blk_[i].cols() != s) {
-      r_blk_[i].resize(ni, s);
-      z_blk_[i].resize(ni, s);
+    if (scratch.r_blk[i].rows() != ni || scratch.r_blk[i].cols() != s) {
+      scratch.r_blk[i].resize(ni, s);
+      scratch.z_blk[i].resize(ni, s);
     }
-    dec_->restrict_to_many(i, r, r_blk_[i]);
+    dec_->restrict_to_many(i, r, scratch.r_blk[i]);
   }
-  solver_->solve_all_block(r_blk_, z_blk_);
+  solver_->solve_all_block(scratch.r_blk, scratch.z_blk, scratch.local.get());
   z.fill(0.0);
   for (Index i = 0; i < k; ++i) {
-    dec_->prolong_add_many(i, z_blk_[i], z);
+    dec_->prolong_add_many(i, scratch.z_blk[i], z);
   }
   if (coarse_) {
     coarse_->apply_add_many(r, z);

@@ -7,6 +7,11 @@
 // subdomain solver from src/core it is DDM-GNN (which additionally applies
 // the residual-normalization of §III-A inside the solver). Local solves run
 // in parallel; the coarse correction is the scalability term.
+//
+// A constructed AdditiveSchwarz is immutable: every per-application buffer
+// (local restrictions, block scratch, the subdomain solver's scratch) lives
+// in the caller-owned ApplyWorkspace, so concurrent threads can apply one
+// shared instance safely.
 #pragma once
 
 #include <memory>
@@ -36,12 +41,24 @@ class AdditiveSchwarz final : public Preconditioner {
                   std::unique_ptr<SubdomainSolver> local_solver)
       : AdditiveSchwarz(a, dec, std::move(local_solver), Config{}) {}
 
-  void apply(std::span<const double> r, std::span<double> z) const override;
+  using Preconditioner::apply;
+  using Preconditioner::apply_many;
+
+  /// Per-caller scratch: the K local restriction/correction vectors (sized
+  /// eagerly — apply never allocates in steady state), the block-path
+  /// MultiVectors (resized to the live column count), and the subdomain
+  /// solver's own workspace.
+  std::unique_ptr<ApplyWorkspace> make_workspace() const override;
+  std::size_t workspace_bytes() const override;
+
+  void apply(std::span<const double> r, std::span<double> z,
+             ApplyWorkspace* ws) const override;
   /// Block application: restrict all s columns at once, hand the subdomain
   /// solver a single K×s batch of local right-hand sides (one disjoint-union
   /// DSS inference for the GNN solver), and push the coarse correction
   /// through one multi-column backsolve.
-  void apply_many(const la::MultiVector& r, la::MultiVector& z) const override;
+  void apply_many(const la::MultiVector& r, la::MultiVector& z,
+                  ApplyWorkspace* ws) const override;
   std::string name() const override;
   bool is_symmetric() const override { return solver_->is_symmetric(); }
 
@@ -49,16 +66,13 @@ class AdditiveSchwarz final : public Preconditioner {
   bool two_level() const { return config_.two_level; }
 
  private:
+  struct Scratch;
+  Scratch& scratch_of(ApplyWorkspace* ws) const;
+
   const partition::Decomposition* dec_;
   Config config_;
   std::unique_ptr<SubdomainSolver> solver_;
   std::optional<partition::NicolaidesCoarseSpace> coarse_;
-  // Reused per-apply buffers (apply is const but the buffers are scratch).
-  mutable std::vector<std::vector<double>> r_loc_;
-  mutable std::vector<std::vector<double>> z_loc_;
-  // Block-path scratch (resized lazily to the current column count s).
-  mutable std::vector<la::MultiVector> r_blk_;
-  mutable std::vector<la::MultiVector> z_blk_;
 };
 
 }  // namespace ddmgnn::precond

@@ -11,7 +11,10 @@ class Ic0Preconditioner final : public Preconditioner {
  public:
   explicit Ic0Preconditioner(const la::CsrMatrix& a) : factor_(a) {}
 
-  void apply(std::span<const double> r, std::span<double> z) const override {
+  using Preconditioner::apply;
+  // The triangular sweeps work entirely in `z`; no workspace needed.
+  void apply(std::span<const double> r, std::span<double> z,
+             ApplyWorkspace*) const override {
     factor_.apply(r, z);
   }
   std::string name() const override { return "ic0"; }

@@ -13,7 +13,7 @@ JacobiPreconditioner::JacobiPreconditioner(std::vector<double> diagonal)
 }
 
 void JacobiPreconditioner::apply(std::span<const double> r,
-                                 std::span<double> z) const {
+                                 std::span<double> z, ApplyWorkspace*) const {
   DDMGNN_CHECK(r.size() == inv_diag_.size() && z.size() == r.size(),
                "Jacobi::apply dims");
   for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];

@@ -3,6 +3,11 @@
 // problems R_i A R_iᵀ v_i = R_i r are solved:
 //   * CholeskySubdomainSolver — exact sparse factorization (paper's DDM-LU);
 //   * GnnSubdomainSolver (src/core) — DSS inference (paper's DDM-GNN).
+//
+// Like Preconditioner, a set-up solver is immutable: solve_all and
+// solve_all_block take all per-call scratch through a caller-owned Workspace
+// so concurrent callers (many client threads sharing one prepared session)
+// never race on shared buffers.
 #pragma once
 
 #include <memory>
@@ -19,19 +24,36 @@ namespace ddmgnn::precond {
 
 class SubdomainSolver {
  public:
+  /// Opaque per-caller scratch for solve_all/solve_all_block, created by
+  /// make_workspace(). One workspace per concurrent caller; reusable across
+  /// calls (steady state is allocation-free).
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
   virtual ~SubdomainSolver() = default;
 
   /// One-time setup with all local operators (A_i = R_i A R_iᵀ, index i
-  /// matching dec.subdomains). Implementations may keep references.
+  /// matching dec.subdomains). Implementations may keep references. After
+  /// setup the solver is immutable — the solve entry points are safe to call
+  /// from many threads with distinct workspaces.
   virtual void setup(std::vector<la::CsrMatrix> local_matrices,
                      const partition::Decomposition& dec) = 0;
+
+  /// Scratch factory; nullptr when the implementation needs none (its solve
+  /// entry points then accept ws == nullptr).
+  virtual std::unique_ptr<Workspace> make_workspace() const { return nullptr; }
+  /// Estimated steady-state bytes of one warmed-up workspace.
+  virtual std::size_t workspace_bytes() const { return 0; }
 
   /// Solve every local problem: z_loc[i] ≈ A_i⁻¹ r_loc[i]. Sizes match the
   /// subdomain node counts. Called once per preconditioner application with
   /// all K right-hand sides so implementations can batch (the paper batches
   /// all subdomains into DSS inferences on the GPU; here across threads).
   virtual void solve_all(const std::vector<std::vector<double>>& r_loc,
-                         std::vector<std::vector<double>>& z_loc) const = 0;
+                         std::vector<std::vector<double>>& z_loc,
+                         Workspace* ws) const = 0;
 
   /// Multi-RHS form: r_loc[i] / z_loc[i] are |subdomain i|×s blocks, one
   /// column per global right-hand side — the K×s batch of local problems of
@@ -40,7 +62,8 @@ class SubdomainSolver {
   /// Cholesky, one disjoint-union DSS inference for the GNN). Overrides must
   /// stay column-equivalent to the looped default.
   virtual void solve_all_block(const std::vector<la::MultiVector>& r_loc,
-                               std::vector<la::MultiVector>& z_loc) const;
+                               std::vector<la::MultiVector>& z_loc,
+                               Workspace* ws) const;
 
   virtual std::string name() const = 0;
   /// Whether each local solve is an SPD linear map of its input.
@@ -48,16 +71,20 @@ class SubdomainSolver {
 };
 
 /// Exact local solves via RCM-ordered skyline Cholesky (factored in parallel).
+/// The factors are read-only at solve time and the sweeps work in the
+/// caller's output buffers, so no workspace is needed.
 class CholeskySubdomainSolver final : public SubdomainSolver {
  public:
   void setup(std::vector<la::CsrMatrix> local_matrices,
              const partition::Decomposition& dec) override;
   void solve_all(const std::vector<std::vector<double>>& r_loc,
-                 std::vector<std::vector<double>>& z_loc) const override;
+                 std::vector<std::vector<double>>& z_loc,
+                 Workspace* ws) const override;
   /// Each factor is swept once per column back-to-back while its envelope is
   /// hot in cache — the factorization is reused across all s columns.
   void solve_all_block(const std::vector<la::MultiVector>& r_loc,
-                       std::vector<la::MultiVector>& z_loc) const override;
+                       std::vector<la::MultiVector>& z_loc,
+                       Workspace* ws) const override;
   std::string name() const override { return "lu"; }
   bool is_symmetric() const override { return true; }
 

@@ -136,13 +136,16 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
   Timer timer;
   const Index n = a.rows();
   ColumnState cols(b, opts, label);
+  // One preconditioner workspace per block solve (never shared across
+  // concurrent solve_many calls on one session).
+  const auto ws = m.make_workspace();
 
   MultiVector r(n, b.cols());
   initial_residual(a, b, x, r, cols);
   MultiVector z(n, b.cols());
   {
     Timer pt;
-    m.apply_many(r, z);
+    m.apply_many(r, z, ws.get());
     cols.add_precond_time(pt.seconds());
   }
   MultiVector p(n, b.cols());
@@ -181,7 +184,7 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
     z.resize(n, nw);
     {
       Timer pt;
-      m.apply_many(r, z);
+      m.apply_many(r, z, ws.get());
       cols.add_precond_time(pt.seconds());
     }
     rho_next.resize(nw);
@@ -216,6 +219,7 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
   const Index n = a.rows();
   const std::string label = "block-fpcg+" + m.name();
   ColumnState cols(b, opts, label);
+  const auto ws = m.make_workspace();
 
   MultiVector r(n, b.cols());
   initial_residual(a, b, x, r, cols);
@@ -254,7 +258,7 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
     z.resize(n, na);
     {
       Timer pt;
-      m.apply_many(r, z);
+      m.apply_many(r, z, ws.get());
       cols.add_precond_time(pt.seconds());
     }
 

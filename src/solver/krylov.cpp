@@ -98,13 +98,16 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   SolveResult res;
   res.method = method_label(KrylovMethod::kPcg, m);
   const std::size_t n = b.size();
+  // One preconditioner workspace per solve: applies stay allocation-free in
+  // steady state and concurrent solves on one shared M never share scratch.
+  const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n), p(n), q(n);
   // r0 = b - A x0, z0 = M⁻¹ r0, p0 = z0   (Algorithm 1)
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   {
     ScopedAccumulate t(precond_time);
-    m.apply(r, z);
+    m.apply(r, z, ws.get());
   }
   std::copy(z.begin(), z.end(), p.begin());
   const double nb = norm2(b);
@@ -124,7 +127,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     if (rnorm <= stop) break;
     {
       ScopedAccumulate t(precond_time);
-      m.apply(r, z);
+      m.apply(r, z, ws.get());
     }
     const double rho_next = dot(r, z);
     const double beta = rho_next / rho;
@@ -148,12 +151,13 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   SolveResult res;
   res.method = method_label(KrylovMethod::kFpcg, m);
   const std::size_t n = b.size();
+  const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n), z_prev(n), dz(n), p(n), q(n);
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   {
     ScopedAccumulate t(precond_time);
-    m.apply(r, z);
+    m.apply(r, z, ws.get());
   }
   std::copy(z.begin(), z.end(), p.begin());
   const double nb = norm2(b);
@@ -170,7 +174,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
       // preconditioner): restart from the preconditioned residual.
       {
         ScopedAccumulate t(precond_time);
-        m.apply(r, z);
+        m.apply(r, z, ws.get());
       }
       std::copy(z.begin(), z.end(), p.begin());
       rho = dot(r, z);
@@ -188,7 +192,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     if (rnorm <= stop) break;
     {
       ScopedAccumulate t(precond_time);
-      m.apply(r, z);
+      m.apply(r, z, ws.get());
     }
     // Polak–Ribière: β = <r, z - z_prev> / rho.
     for (std::size_t i = 0; i < n; ++i) dz[i] = z[i] - z_prev[i];
@@ -213,6 +217,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
   SolveResult res;
   res.method = method_label(KrylovMethod::kBicgstab, m);
   const std::size_t n = b.size();
+  const auto ws = m.make_workspace();
   std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
@@ -233,7 +238,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
     {
       ScopedAccumulate tt(precond_time);
-      m.apply(p, ph);
+      m.apply(p, ph, ws.get());
     }
     a.multiply(ph, v);
     alpha = rho / dot(r0, v);
@@ -249,7 +254,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
     }
     {
       ScopedAccumulate tt(precond_time);
-      m.apply(s, sh);
+      m.apply(s, sh, ws.get());
     }
     a.multiply(sh, t);
     const double tt_dot = dot(t, t);
@@ -283,6 +288,7 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
   SolveResult res;
   res.method = method_label(KrylovMethod::kGmres, m);
   const std::size_t n = b.size();
+  const auto ws = m.make_workspace();
   const double nb = norm2(b);
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
 
@@ -315,7 +321,7 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
     for (; k < restart && total_it < opts.max_iterations; ++k) {
       {
         ScopedAccumulate t(precond_time);
-        m.apply(basis[k], zw);
+        m.apply(basis[k], zw, ws.get());
       }
       zs.push_back(zw);
       a.multiply(zw, w);

@@ -23,6 +23,7 @@ SolveResult stationary_iteration(const CsrMatrix& a,
   SolveResult res;
   res.method = "richardson+" + m.name();
   const std::size_t n = b.size();
+  const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n);
   const double nb = la::norm2(b);
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
@@ -42,7 +43,7 @@ SolveResult stationary_iteration(const CsrMatrix& a,
     if (rnorm <= stop || it >= opts.max_iterations) break;
     {
       ScopedAccumulate t(precond_time);
-      m.apply(r, z);
+      m.apply(r, z, ws.get());
     }
     la::axpy(damping, z, x);
     ++it;
@@ -62,6 +63,7 @@ double power_iteration_damping(const CsrMatrix& a,
                "power_iteration_damping: square matrix required");
   const std::size_t n = static_cast<std::size_t>(a.rows());
   Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  const auto ws = m.make_workspace();
   std::vector<double> v(n), av(n), w(n);
   for (double& vi : v) vi = rng.uniform(-1.0, 1.0);
   double lambda = 1.0;
@@ -70,7 +72,7 @@ double power_iteration_damping(const CsrMatrix& a,
     if (nv == 0.0) break;
     la::scale(1.0 / nv, v);
     a.multiply(v, av);
-    m.apply(av, w);  // w = M⁻¹ A v
+    m.apply(av, w, ws.get());  // w = M⁻¹ A v
     lambda = la::norm2(w);
     if (!(lambda > 0.0) || !std::isfinite(lambda)) {
       lambda = 1.0;

@@ -264,8 +264,9 @@ TEST(DdmGnn, LocalSolveIsScaleEquivariantWithNormalization) {
     z1[i].resize(r1[i].size());
     z2[i].resize(r1[i].size());
   }
-  solver.solve_all(r1, z1);
-  solver.solve_all(r2, z2);
+  const auto ws = solver.make_workspace();
+  solver.solve_all(r1, z1, ws.get());
+  solver.solve_all(r2, z2, ws.get());
   for (Index i = 0; i < dec.num_parts; ++i) {
     for (std::size_t j = 0; j < z1[i].size(); ++j) {
       EXPECT_NEAR(z2[i][j], 1e-8 * z1[i][j],
@@ -290,7 +291,8 @@ TEST(DdmGnn, ZeroResidualYieldsZeroCorrection) {
     r[i].assign(dec.subdomains[i].size(), 0.0);
     z[i].resize(r[i].size());
   }
-  solver.solve_all(r, z);
+  const auto ws = solver.make_workspace();
+  solver.solve_all(r, z, ws.get());
   for (const auto& zi : z) {
     for (const double v : zi) EXPECT_EQ(v, 0.0);
   }

@@ -166,7 +166,9 @@ TEST(Safeguards, FlexiblePcgSurvivesIdentityLikePerturbedPrecond) {
   // asymmetric tweak) must not break FPCG on an SPD system.
   class Lopsided final : public precond::Preconditioner {
    public:
-    void apply(std::span<const double> r, std::span<double> z) const override {
+    using precond::Preconditioner::apply;
+    void apply(std::span<const double> r, std::span<double> z,
+               precond::ApplyWorkspace*) const override {
       for (std::size_t i = 0; i < r.size(); ++i) {
         z[i] = r[i] * (1.0 + 0.05 * std::sin(static_cast<double>(i)));
       }
