@@ -15,9 +15,18 @@
 // cores to clients, not to nested teams); --threads N overrides.
 //
 //   ./bench_serving [--threads N] [--clients "1 2 4"] [--ops K]
+//                   [--trace out.json] [--metrics out.json]
+//
+// --trace captures a Chrome trace_event timeline of the whole run (open in
+// chrome://tracing or Perfetto); --metrics dumps the obs registry snapshot.
+// --trace implies metrics collection so the snapshot can name the dominant
+// apply phase (written to artifacts/bench_serving_metrics.json when no
+// --metrics path is given).
 //
 // JSON: artifacts/bench_serving.json (standard meta record first; one
-// record per (preconditioner, client count) plus per-run hit/miss stats).
+// record per (preconditioner, client count) with p50/p95/p99 per-solve
+// latency, plus per-preconditioner cache and failure-reason records).
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +41,10 @@
 #include "common/timer.hpp"
 #include "core/session_cache.hpp"
 #include "gnn/dss_model.hpp"
+#include "obs/flags.hpp"
+#include "obs/forensics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -63,12 +76,18 @@ struct ServingResult {
   }
 };
 
+/// Unconverged-solve counts per obs::FailureReason, accumulated across all
+/// client counts of one preconditioner (index 0 = kNone stays unused: only
+/// failures are tallied).
+using FailureTally = std::array<std::atomic<long>, obs::kNumFailureReasons>;
+
 /// T clients × `ops` rounds each against one cached session. Every round:
 /// re-fetch the session from the cache (concurrent hit path), then
 /// alternate a single solve and a 4-RHS solve_many — the mixed traffic of a
 /// request front-end.
 ServingResult serve(core::SessionCache& cache, const bench::Problem& p,
-                    const core::HybridConfig& cfg, int clients, int ops) {
+                    const core::HybridConfig& cfg, int clients, int ops,
+                    obs::Histogram& latency, FailureTally& failures) {
   const std::size_t n = p.prob.b.size();
   std::atomic<long> solves{0};
   std::atomic<bool> all_converged{true};
@@ -76,6 +95,13 @@ ServingResult serve(core::SessionCache& cache, const bench::Problem& p,
   // Warm the cache so the timed region measures serving, not the one setup.
   (void)cache.get_or_setup(p.m, p.prob, cfg);
 
+  auto note = [&](const solver::SolveResult& res) {
+    if (!res.converged) {
+      all_converged.store(false);
+      failures[static_cast<std::size_t>(res.failure)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  };
   std::vector<std::thread> threads;
   threads.reserve(clients);
   Timer wall;
@@ -91,8 +117,10 @@ ServingResult serve(core::SessionCache& cache, const bench::Problem& p,
           std::vector<double> b(n);
           for (double& v : b) v = rng.uniform(-1.0, 1.0);
           std::vector<double> x(n, 0.0);
+          Timer op_timer;
           const auto res = session->solve(b, x);
-          if (!res.converged) all_converged.store(false);
+          latency.observe(op_timer.seconds());
+          note(res);
           solves.fetch_add(1, std::memory_order_relaxed);
         } else {
           std::vector<std::vector<double>> bs(4);
@@ -101,9 +129,14 @@ ServingResult serve(core::SessionCache& cache, const bench::Problem& p,
             for (double& v : b) v = rng.uniform(-1.0, 1.0);
           }
           std::vector<std::vector<double>> xs;
+          Timer op_timer;
           const auto results = session->solve_many(bs, xs);
+          // Client-experienced latency: every RHS of the batch waits the
+          // whole batched call, so each observes the batch wall time.
+          const double batch_seconds = op_timer.seconds();
           for (const auto& res : results) {
-            if (!res.converged) all_converged.store(false);
+            latency.observe(batch_seconds);
+            note(res);
           }
           solves.fetch_add(static_cast<long>(bs.size()),
                            std::memory_order_relaxed);
@@ -132,6 +165,14 @@ int main(int argc, char** argv) {
   const int ops = bench::find_flag(argc, argv, "--ops")
                       ? std::atoi(bench::find_flag(argc, argv, "--ops"))
                       : ops_for_scale();
+  const char* trace_path = bench::find_flag(argc, argv, "--trace");
+  const char* metrics_path = bench::find_flag(argc, argv, "--metrics");
+  if (trace_path != nullptr) obs::set_trace_enabled(true);
+  // Tracing without metrics would leave the snapshot (dominant phase,
+  // failure counters) empty, so --trace implies metrics collection.
+  if (metrics_path != nullptr || trace_path != nullptr) {
+    obs::set_metrics_enabled(true);
+  }
   std::vector<int> client_counts{1, 2, 4};
   if (const char* spec = bench::find_flag(argc, argv, "--clients")) {
     client_counts.clear();
@@ -174,15 +215,23 @@ int main(int argc, char** argv) {
     const int precond_ops = is_gnn ? ops : ops * 10;
 
     core::SessionCache cache(/*byte_budget=*/1u << 30);
-    std::printf("%-10s %8s %12s %12s %10s\n", precond, "clients",
-                "solves/sec", "seconds", "speedup");
+    FailureTally failures{};
+    std::printf("%-10s %8s %12s %12s %10s %9s %9s %9s\n", precond, "clients",
+                "solves/sec", "seconds", "speedup", "p50(ms)", "p95(ms)",
+                "p99(ms)");
     double base = 0.0;
     for (const int clients : client_counts) {
-      const ServingResult r = serve(cache, p, cfg, clients, precond_ops);
+      obs::Histogram latency(obs::default_latency_buckets());
+      const ServingResult r =
+          serve(cache, p, cfg, clients, precond_ops, latency, failures);
       if (base == 0.0) base = r.solves_per_sec();
       const double speedup = base > 0.0 ? r.solves_per_sec() / base : 0.0;
-      std::printf("%-10s %8d %12.2f %12.3f %9.2fx%s\n", "", r.clients,
-                  r.solves_per_sec(), r.seconds, speedup,
+      const double p50 = latency.quantile(0.50);
+      const double p95 = latency.quantile(0.95);
+      const double p99 = latency.quantile(0.99);
+      std::printf("%-10s %8d %12.2f %12.3f %9.2fx %9.2f %9.2f %9.2f%s\n", "",
+                  r.clients, r.solves_per_sec(), r.seconds, speedup,
+                  p50 * 1e3, p95 * 1e3, p99 * 1e3,
                   r.all_converged ? "" : "  [not all converged]");
       records.push_back(bench::JsonRecord()
                             .add("record", std::string("serving"))
@@ -193,10 +242,13 @@ int main(int argc, char** argv) {
                             .add("seconds", r.seconds)
                             .add("solves_per_sec", r.solves_per_sec())
                             .add("speedup_vs_1", speedup)
+                            .add("latency_p50_seconds", p50)
+                            .add("latency_p95_seconds", p95)
+                            .add("latency_p99_seconds", p99)
                             .add("all_converged", r.all_converged));
     }
     const auto stats = cache.stats();
-    std::printf("%-10s cache: %zu hits / %zu misses / %zu evictions\n\n", "",
+    std::printf("%-10s cache: %zu hits / %zu misses / %zu evictions\n", "",
                 stats.hits, stats.misses, stats.evictions);
     records.push_back(bench::JsonRecord()
                           .add("record", std::string("cache"))
@@ -204,11 +256,58 @@ int main(int argc, char** argv) {
                           .add("hits", static_cast<int>(stats.hits))
                           .add("misses", static_cast<int>(stats.misses))
                           .add("evictions", static_cast<int>(stats.evictions)));
+    // Failure forensics across all client counts of this preconditioner:
+    // which FailureReason the unconverged solves hit (the untrained ddm-gnn
+    // model is expected to exhaust its iteration budget here).
+    bench::JsonRecord failure_rec;
+    failure_rec.add("record", std::string("failures"))
+        .add("preconditioner", std::string(precond));
+    long total_failures = 0;
+    for (int reason = 0; reason < obs::kNumFailureReasons; ++reason) {
+      const long c = failures[static_cast<std::size_t>(reason)].load();
+      total_failures += c;
+      failure_rec.add(
+          std::string("unconverged_") +
+              obs::failure_reason_name(static_cast<obs::FailureReason>(reason)),
+          static_cast<int>(c));
+    }
+    if (total_failures > 0) {
+      std::printf("%-10s unconverged:", "");
+      for (int reason = 1; reason < obs::kNumFailureReasons; ++reason) {
+        const long c = failures[static_cast<std::size_t>(reason)].load();
+        if (c > 0) {
+          std::printf(" %s=%ld",
+                      obs::failure_reason_name(
+                          static_cast<obs::FailureReason>(reason)),
+                      c);
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+    records.push_back(std::move(failure_rec));
   }
 
   std::filesystem::create_directories(artifact_dir());
   const std::string path = artifact_dir() + "/bench_serving.json";
   bench::write_json(path, records);
   std::printf("JSON: %s\n", path.c_str());
+  if (obs::metrics_enabled()) {
+    double phase_seconds = 0.0;
+    const std::string phase = obs::dominant_phase(&phase_seconds);
+    std::printf("dominant apply phase: %s (%.3f s)\n", phase.c_str(),
+                phase_seconds);
+    const std::string mpath = metrics_path != nullptr
+                                  ? std::string(metrics_path)
+                                  : artifact_dir() +
+                                        "/bench_serving_metrics.json";
+    obs::Registry::instance().write_json(mpath);
+    std::printf("metrics: %s\n", mpath.c_str());
+  }
+  if (trace_path != nullptr) {
+    obs::TraceRecorder::instance().write_chrome_trace(trace_path);
+    std::printf("trace: %s (%zu events dropped)\n", trace_path,
+                obs::TraceRecorder::instance().dropped());
+  }
   return 0;
 }

@@ -33,6 +33,9 @@ class Accumulator {
     if (running_) total_ += timer_.seconds();
     running_ = false;
   }
+  /// Fold in a window measured elsewhere (a caller that also needs the raw
+  /// delta — e.g. to record it as a trace span — times once and adds here).
+  void add(double seconds) { total_ += seconds; }
   double total() const { return total_; }
   void reset() { total_ = 0.0; running_ = false; }
 

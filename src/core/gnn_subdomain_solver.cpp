@@ -1,16 +1,38 @@
 #include "core/gnn_subdomain_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "gnn/dss_kernels.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/flags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ddmgnn::core {
 
 namespace {
+
+/// One timed + traced DSS inference. The phase profile is only collected
+/// while timing is on; the disabled path is the bare virtual call.
+inline void timed_forward(const gnn::DssModel& model,
+                          const gnn::GraphSample& sample,
+                          const gnn::DssEdgeCache* cache,
+                          gnn::DssWorkspace& dss, std::vector<float>& out) {
+  if (!obs::timing_enabled()) {
+    model.forward(sample, cache, dss, out);
+    return;
+  }
+  gnn::DssPhaseProfile prof;
+  const std::int64_t t0 = obs::TraceRecorder::instance().now_ns();
+  model.forward(sample, cache, dss, out, &prof);
+  gnn::record_phase_profile(prof, t0, obs::TraceRecorder::instance().now_ns());
+}
 
 /// Per-caller inference scratch. One Lane per OpenMP thread of the caller's
 /// solve: the lanes are touched only inside this caller's parallel region,
@@ -101,6 +123,9 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
   // Edge geometry never changes across iterations, applies, or solves, so
   // the attr projections of every message-passing block are paid once here.
   const bool precompute = model_->config().fast_inference;
+  obs::Span setup_span("gnn.setup");
+  const bool timing = obs::timing_enabled();
+  std::atomic<double> edge_cache_seconds{0.0};
   parallel_for_dynamic(k, [&](long i) {
     const auto& nodes = dec.subdomains[i];
     std::vector<mesh::Point2> local_coords(nodes.size());
@@ -115,10 +140,23 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
                                          local_coords, local_dirichlet,
                                          &local_pattern);
     if (precompute) {
+      Timer cache_timer;
       edge_caches_[i] = std::make_shared<const gnn::DssEdgeCache>(
           model_->precompute_edges(*topologies_[i]));
+      if (timing) {
+        edge_cache_seconds.fetch_add(cache_timer.seconds(),
+                                     std::memory_order_relaxed);
+      }
     }
   });
+  if (timing && precompute) {
+    // CPU seconds across the parallel precompute — can exceed the phase's
+    // wall time, which is exactly the signal (edge-cache build parallelism).
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.dss_edge_cache_seconds");
+    if (obs::metrics_enabled()) g.add(edge_cache_seconds.load());
+    setup_span.arg("edge_cache_cpu_seconds", edge_cache_seconds.load());
+  }
 }
 
 std::unique_ptr<precond::SubdomainSolver::Workspace>
@@ -184,7 +222,7 @@ void GnnSubdomainSolver::solve_all(
       if (norm <= options_.zero_threshold) break;
       const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) sample.rhs[j] = res[j] * inv;
-      model_->forward(sample, edge_caches_[i].get(), lane.dss, out);
+      timed_forward(*model_, sample, edge_caches_[i].get(), lane.dss, out);
       const double scale = options_.normalize_input ? norm : 1.0;
       for (std::size_t j = 0; j < n; ++j) {
         z[j] += scale * static_cast<double>(out[j]);
@@ -348,7 +386,7 @@ void GnnSubdomainSolver::solve_all_block(
         for (la::Index l = 0; l < n; ++l) rhs[off + l] = cur[l] * inv;
         lane.scale[t] = options_.normalize_input ? norm : 1.0;
       }
-      model_->forward(merged, shard.cache.get(), lane.dss, out);
+      timed_forward(*model_, merged, shard.cache.get(), lane.dss, out);
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
         const la::Index n = topologies_[task.part]->n;

@@ -5,6 +5,9 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "obs/flags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ddmgnn::core {
 
@@ -201,20 +204,43 @@ std::shared_ptr<SolverSession> SessionCache::lookup_or_insert(
     entry->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                            std::memory_order_relaxed);
   }
+  // Hit/miss/stampede telemetry. A waiter that arrives while the first
+  // caller is still inside setup counts as a hit (it shares that one setup:
+  // 1 miss + N−1 hits for an N-thread stampede), but is additionally marked
+  // as a stampede-wait — it is about to block in call_once below.
+  const bool will_wait =
+      !inserted && !entry->ready.load(std::memory_order_acquire);
   if (inserted) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& c =
+          obs::Registry::instance().counter("cache.misses_total");
+      c.inc();
+    }
+    obs::instant("cache.miss");
   } else {
-    // A waiter that arrives while the first caller is still inside setup is
-    // a hit: it shares that one setup instead of paying its own (1 miss +
-    // N−1 hits for an N-thread stampede).
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& c =
+          obs::Registry::instance().counter("cache.hits_total");
+      c.inc();
+      if (will_wait) {
+        static obs::Counter& w =
+            obs::Registry::instance().counter("cache.stampede_waits_total");
+        w.inc();
+      }
+    }
+    obs::instant(will_wait ? "cache.stampede_wait" : "cache.hit");
   }
 
   // The setup itself runs outside every shard lock — long setups must not
   // block lookups of other operators (or eviction). call_once both
   // collapses the stampede and publishes the prepared state to waiters.
   try {
-    std::call_once(entry->setup_once, [&] { run_setup(*entry); });
+    std::call_once(entry->setup_once, [&] {
+      OBS_SPAN("cache.setup");
+      run_setup(*entry);
+    });
   } catch (...) {
     // Failed setup (unknown name, missing model, …): unpublish the entry so
     // the key is retryable, then surface the error to this caller. Another
@@ -310,6 +336,13 @@ void SessionCache::evict_over_budget() {
       }
     }
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& c =
+          obs::Registry::instance().counter("cache.evictions_total");
+      c.inc();
+    }
+    obs::instant("cache.eviction", "bytes",
+                 static_cast<double>(victim->bytes));
   }
 }
 

@@ -8,6 +8,8 @@
 #include "gnn/graph.hpp"
 #include "gnn/spectral_coords.hpp"
 #include "la/multivector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "precond/asm_precond.hpp"
 #include "precond/registry.hpp"
 #include "solver/block_krylov.hpp"
@@ -50,8 +52,14 @@ void SolverSession::setup_from_graph(const la::CsrMatrix& A,
       precond::PrecondRegistry::instance().canonical(cfg.preconditioner);
   const precond::PrecondTraits traits = precond::preconditioner_traits(canonical);
 
+  static obs::Gauge& setup_gauge =
+      obs::Registry::instance().gauge("session.setup_seconds");
+  obs::PhaseTimer setup_phase("session.setup", &setup_gauge);
   Timer setup_timer;
   if (traits.needs_decomposition) {
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.decomposition_seconds");
+    obs::PhaseTimer t("setup.decomposition", &g);
     dec_ = std::make_unique<partition::Decomposition>(
         partition::decompose_target_size(adj_ptr, adj,
                                          cfg.subdomain_target_nodes,
@@ -73,7 +81,14 @@ void SolverSession::setup_from_graph(const la::CsrMatrix& A,
     pattern = gnn::adjacency_pattern(adj_ptr, adj);
     ctx.edge_pattern = &pattern;
   }
-  m_inv_ = precond::make_preconditioner(canonical, ctx);
+  {
+    // Child phases (setup.extract_blocks / setup.local_solver /
+    // setup.coarse_space) are emitted inside AdditiveSchwarz's constructor.
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.preconditioner_seconds");
+    obs::PhaseTimer t("setup.preconditioner", &g);
+    m_inv_ = precond::make_preconditioner(canonical, ctx);
+  }
   a_ = &A;
   setup_seconds_ += setup_timer.seconds();
 
@@ -146,18 +161,27 @@ void SolverSession::setup(const la::CsrMatrix& A, const HybridConfig& cfg,
 solver::SolveResult SolverSession::solve(std::span<const double> b,
                                          std::span<double> x) const {
   DDMGNN_CHECK(ready(), "SolverSession::solve before setup()");
+  // Root span: every solve's full wall time is covered by this one event,
+  // with the Krylov iterations and preconditioner phases nested inside.
+  obs::Span solve_span("session.solve");
   solver::SolveOptions opts;
   opts.rel_tol = cfg_.rel_tol;
   opts.max_iterations = cfg_.max_iterations;
   opts.track_history = cfg_.track_history;
   opts.gmres_restart = cfg_.gmres_restart;
-  return solver::run_krylov(method_, *a_, *m_inv_, b, x, opts);
+  solver::SolveResult res =
+      solver::run_krylov(method_, *a_, *m_inv_, b, x, opts);
+  solve_span.arg("iterations", res.iterations);
+  solve_span.arg("converged", res.converged ? 1.0 : 0.0);
+  return res;
 }
 
 std::vector<solver::SolveResult> SolverSession::solve_many(
     std::span<const std::vector<double>> rhs,
     std::vector<std::vector<double>>& xs) const {
   DDMGNN_CHECK(ready(), "SolverSession::solve_many before setup()");
+  obs::Span solve_span("session.solve_many");
+  solve_span.arg("rhs", static_cast<double>(rhs.size()));
   xs.resize(rhs.size());
   const bool block_capable =
       method_ == solver::KrylovMethod::kCg ||

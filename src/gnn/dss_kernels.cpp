@@ -4,6 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/flags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ddmgnn::gnn {
 
@@ -11,6 +14,48 @@ namespace {
 constexpr long kEdgeGrain = 2048;  // per-edge kernels: rows per fork threshold
 constexpr long kNodeGrain = 2048;  // per-node kernels
 }  // namespace
+
+void record_phase_profile(const DssPhaseProfile& prof, std::int64_t start_ns,
+                          std::int64_t end_ns) {
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& projection =
+        obs::Registry::instance().gauge("dss.projection_seconds");
+    static obs::Gauge& gather =
+        obs::Registry::instance().gauge("dss.gather_seconds");
+    static obs::Gauge& aggregate =
+        obs::Registry::instance().gauge("dss.aggregate_seconds");
+    static obs::Gauge& update =
+        obs::Registry::instance().gauge("dss.update_seconds");
+    static obs::Gauge& decode =
+        obs::Registry::instance().gauge("dss.decode_seconds");
+    projection.add(prof.projection);
+    gather.add(prof.gather);
+    aggregate.add(prof.aggregate);
+    update.add(prof.update);
+    decode.add(prof.decode);
+  }
+  if (!obs::trace_enabled()) return;
+  obs::emit_span("dss.forward", start_ns, end_ns - start_ns);
+  // The phases are measured independently and the loop interleaves them, so
+  // the children are synthesized end-to-end from the forward's start: their
+  // positions are schematic, their durations exact.
+  struct Child {
+    const char* name;
+    double seconds;
+  };
+  const Child children[] = {{"dss.projection", prof.projection},
+                            {"dss.gather", prof.gather},
+                            {"dss.aggregate", prof.aggregate},
+                            {"dss.update", prof.update},
+                            {"dss.decode", prof.decode}};
+  std::int64_t at = start_ns;
+  for (const Child& c : children) {
+    const auto dur = static_cast<std::int64_t>(c.seconds * 1e9);
+    if (dur <= 0) continue;
+    obs::emit_span(c.name, at, dur);
+    at += dur;
+  }
+}
 
 void build_edge_inputs(const GraphTopology& topo, const nn::Tensor& h,
                        bool flip_direction, nn::Tensor& x) {

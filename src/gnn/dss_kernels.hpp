@@ -18,6 +18,7 @@
 // scatter at any thread count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "gnn/graph.hpp"
@@ -64,6 +65,15 @@ struct DssPhaseProfile {
     return *this;
   }
 };
+
+/// Telemetry bridge: fold one measured forward pass into the obs layer — a
+/// "dss.forward" span over [start_ns, end_ns) with the five phases laid
+/// end-to-end as child spans (when tracing), and per-phase dss.*_seconds
+/// gauges (when metrics are on). The profile is only filled by the fast
+/// path; a zero total() still emits the parent span so wall-time coverage
+/// holds on the reference path. Safe to call from OpenMP worker threads.
+void record_phase_profile(const DssPhaseProfile& prof, std::int64_t start_ns,
+                          std::int64_t end_ns);
 
 /// Reference edge-input assembly: row e = [h_recv, h_send, ±dx, ±dy, dist].
 void build_edge_inputs(const GraphTopology& topo, const nn::Tensor& h,

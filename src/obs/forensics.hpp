@@ -1,0 +1,31 @@
+// Convergence forensics: the structured *why* behind converged == false.
+// SolveResult carries one of these for every driver (scalar Krylov, block
+// Krylov, stationary iteration); solver::classify_failure assigns it from the
+// residual history, so a serving log or metrics snapshot can separate "ran
+// out of budget while converging" from "the preconditioner made it worse".
+#pragma once
+
+namespace ddmgnn::obs {
+
+enum class FailureReason {
+  kNone = 0,       // converged (or not yet classified)
+  kMaxIterations,  // hit the iteration budget while still making progress
+  kStagnated,      // residual stopped improving (<1% over the trailing window)
+  kDiverged,       // residual grew well past its starting value
+  kNan,            // residual became NaN/Inf (breakdown)
+};
+
+inline const char* failure_reason_name(FailureReason r) {
+  switch (r) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kMaxIterations: return "max-iterations";
+    case FailureReason::kStagnated: return "stagnated";
+    case FailureReason::kDiverged: return "diverged";
+    case FailureReason::kNan: return "nan";
+  }
+  return "unknown";
+}
+
+constexpr int kNumFailureReasons = 5;
+
+}  // namespace ddmgnn::obs

@@ -2,10 +2,38 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ddmgnn::precond {
 
 using la::Index;
+
+namespace {
+
+// Apply-phase gauges, resolved once (function-local statics keep the
+// registry lookup off the hot path; PhaseTimer reads the clock only while
+// metrics or tracing are enabled).
+obs::Gauge& restrict_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("asm.restrict_seconds");
+  return g;
+}
+obs::Gauge& solve_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::instance().gauge("asm.subdomain_solve_seconds");
+  return g;
+}
+obs::Gauge& prolong_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("asm.prolong_seconds");
+  return g;
+}
+obs::Gauge& coarse_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("asm.coarse_seconds");
+  return g;
+}
+
+}  // namespace
 
 void SubdomainSolver::solve_all_block(
     const std::vector<la::MultiVector>& r_loc,
@@ -81,11 +109,27 @@ AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
   DDMGNN_CHECK(solver_ != nullptr, "ASM: null subdomain solver");
   const Index k = dec.num_parts;
   std::vector<la::CsrMatrix> blocks(k);
-  parallel_for_dynamic(k, [&](long i) {
-    blocks[i] = a.principal_submatrix(dec.subdomains[i]);
-  });
-  solver_->setup(std::move(blocks), dec);
+  {
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.extract_blocks_seconds");
+    obs::PhaseTimer t("setup.extract_blocks", &g);
+    parallel_for_dynamic(k, [&](long i) {
+      blocks[i] = a.principal_submatrix(dec.subdomains[i]);
+    });
+  }
+  {
+    // For DDM-LU this is the factorization; for DDM-GNN it builds the
+    // subdomain topologies + DSS edge caches (which add their own child
+    // phase under setup.dss_edge_cache_seconds).
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.local_solver_seconds");
+    obs::PhaseTimer t("setup.local_solver", &g);
+    solver_->setup(std::move(blocks), dec);
+  }
   if (config_.two_level) {
+    static obs::Gauge& g =
+        obs::Registry::instance().gauge("setup.coarse_space_seconds");
+    obs::PhaseTimer t("setup.coarse_space", &g);
     coarse_.emplace(a, dec);
   }
 }
@@ -128,15 +172,26 @@ void AdditiveSchwarz::apply(std::span<const double> r,
                "ASM::apply dims");
   Scratch& scratch = scratch_of(ws);
   const Index k = dec_->num_parts;
-  for (Index i = 0; i < k; ++i) {
-    dec_->restrict_to(i, r, scratch.r_loc[i]);
+  OBS_SPAN("asm.apply");
+  {
+    obs::PhaseTimer t("asm.restrict", &restrict_gauge());
+    for (Index i = 0; i < k; ++i) {
+      dec_->restrict_to(i, r, scratch.r_loc[i]);
+    }
   }
-  solver_->solve_all(scratch.r_loc, scratch.z_loc, scratch.local.get());
-  std::fill(z.begin(), z.end(), 0.0);
-  for (Index i = 0; i < k; ++i) {
-    dec_->prolong_add(i, scratch.z_loc[i], z);
+  {
+    obs::PhaseTimer t("asm.subdomain_solve", &solve_gauge());
+    solver_->solve_all(scratch.r_loc, scratch.z_loc, scratch.local.get());
+  }
+  {
+    obs::PhaseTimer t("asm.prolong", &prolong_gauge());
+    std::fill(z.begin(), z.end(), 0.0);
+    for (Index i = 0; i < k; ++i) {
+      dec_->prolong_add(i, scratch.z_loc[i], z);
+    }
   }
   if (coarse_) {
+    obs::PhaseTimer t("asm.coarse", &coarse_gauge());
     coarse_->apply_add(r, z);
   }
 }
@@ -149,24 +204,36 @@ void AdditiveSchwarz::apply_many(const la::MultiVector& r,
                "ASM::apply_many dims");
   Scratch& scratch = scratch_of(ws);
   const Index k = dec_->num_parts;
-  if (scratch.r_blk.empty()) {
-    scratch.r_blk.resize(k);
-    scratch.z_blk.resize(k);
-  }
-  for (Index i = 0; i < k; ++i) {
-    const auto ni = static_cast<Index>(dec_->subdomains[i].size());
-    if (scratch.r_blk[i].rows() != ni || scratch.r_blk[i].cols() != s) {
-      scratch.r_blk[i].resize(ni, s);
-      scratch.z_blk[i].resize(ni, s);
+  OBS_SPAN("asm.apply_many");
+  {
+    obs::PhaseTimer t("asm.restrict", &restrict_gauge());
+    if (scratch.r_blk.empty()) {
+      scratch.r_blk.resize(k);
+      scratch.z_blk.resize(k);
     }
-    dec_->restrict_to_many(i, r, scratch.r_blk[i]);
+    for (Index i = 0; i < k; ++i) {
+      const auto ni = static_cast<Index>(dec_->subdomains[i].size());
+      if (scratch.r_blk[i].rows() != ni || scratch.r_blk[i].cols() != s) {
+        scratch.r_blk[i].resize(ni, s);
+        scratch.z_blk[i].resize(ni, s);
+      }
+      dec_->restrict_to_many(i, r, scratch.r_blk[i]);
+    }
   }
-  solver_->solve_all_block(scratch.r_blk, scratch.z_blk, scratch.local.get());
-  z.fill(0.0);
-  for (Index i = 0; i < k; ++i) {
-    dec_->prolong_add_many(i, scratch.z_blk[i], z);
+  {
+    obs::PhaseTimer t("asm.subdomain_solve", &solve_gauge());
+    solver_->solve_all_block(scratch.r_blk, scratch.z_blk,
+                             scratch.local.get());
+  }
+  {
+    obs::PhaseTimer t("asm.prolong", &prolong_gauge());
+    z.fill(0.0);
+    for (Index i = 0; i < k; ++i) {
+      dec_->prolong_add_many(i, scratch.z_blk[i], z);
+    }
   }
   if (coarse_) {
+    obs::PhaseTimer t("asm.coarse", &coarse_gauge());
     coarse_->apply_add_many(r, z);
   }
 }

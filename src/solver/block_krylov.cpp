@@ -5,6 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/flags.hpp"
+#include "obs/trace.hpp"
+#include "solver/telemetry.hpp"
 
 namespace ddmgnn::solver {
 
@@ -25,13 +28,15 @@ struct ColumnState {
   std::vector<double> nb, stop, rnorm;  // indexed like act
   std::vector<double> precond_share;    // indexed by ORIGINAL column
   bool track_history = false;
+  bool forensics = false;
 
   ColumnState(const MultiVector& b, const SolveOptions& opts,
               const std::string& method_label) {
     const Index s = b.cols();
     results.resize(s);
     precond_share.assign(s, 0.0);
-    track_history = opts.track_history;
+    track_history = history_enabled(opts);
+    forensics = obs::forensics_enabled();
     act.resize(s);
     nb.resize(s);
     stop.resize(s);
@@ -56,7 +61,10 @@ struct ColumnState {
 
   void add_precond_time(double seconds) {
     const double share = seconds / static_cast<double>(act.size());
-    for (const Index j : act) precond_share[j] += share;
+    for (const Index j : act) {
+      precond_share[j] += share;
+      if (forensics) results[j].precond_history.push_back(share);
+    }
   }
 
   void finalize(std::size_t c, int iterations, bool converged,
@@ -106,6 +114,26 @@ struct ColumnState {
   }
 };
 
+/// One batched preconditioner application, timed once: the measurement is
+/// split into the active columns' precond_seconds shares (which therefore sum
+/// back to it exactly) and, when tracing, becomes a "precond.apply_many" span
+/// of the identical duration — the block-path counterpart of PrecondScope.
+void timed_apply_many(const precond::Preconditioner& m, const MultiVector& r,
+                      MultiVector& z, precond::ApplyWorkspace* ws,
+                      ColumnState& cols) {
+  const bool tracing = obs::trace_enabled();
+  const std::int64_t t0 =
+      tracing ? obs::TraceRecorder::instance().now_ns() : 0;
+  Timer pt;
+  m.apply_many(r, z, ws);
+  const double s = pt.seconds();
+  if (tracing) {
+    obs::emit_span("precond.apply_many", t0,
+                   static_cast<std::int64_t>(s * 1e9));
+  }
+  cols.add_precond_time(s);
+}
+
 /// r = b - A x for every column, plus initial norms.
 void initial_residual(const CsrMatrix& a, const MultiVector& b,
                       const MultiVector& x, MultiVector& r,
@@ -143,11 +171,7 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
   MultiVector r(n, b.cols());
   initial_residual(a, b, x, r, cols);
   MultiVector z(n, b.cols());
-  {
-    Timer pt;
-    m.apply_many(r, z, ws.get());
-    cols.add_precond_time(pt.seconds());
-  }
+  timed_apply_many(m, r, z, ws.get(), cols);
   MultiVector p(n, b.cols());
   copy_columns(z, p);
   std::vector<double> rho(b.cols());
@@ -164,6 +188,7 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
   std::vector<double> alpha, pq, rho_next, beta;
   int it = 0;
   while (cols.active() > 0 && it < opts.max_iterations) {
+    obs::Span iter_span("block-pcg.iter");
     a.apply_many(p, q);
     const Index na = cols.active();
     alpha.resize(na);
@@ -178,15 +203,13 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
     norm2_columns(r, cols.rnorm);
     ++it;
     cols.push_history();
+    iter_span.arg("iter", it);
+    iter_span.arg("active_columns", cols.active());
     compact_scalars(cols.deflate_converged(it, timer, r, p), rho);
     if (cols.active() == 0) break;
     const Index nw = cols.active();
     z.resize(n, nw);
-    {
-      Timer pt;
-      m.apply_many(r, z, ws.get());
-      cols.add_precond_time(pt.seconds());
-    }
+    timed_apply_many(m, r, z, ws.get(), cols);
     rho_next.resize(nw);
     beta.resize(nw);
     dot_columns(r, z, rho_next);
@@ -197,6 +220,7 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
     xpay_columns(beta, z, p);
   }
   cols.finalize_remaining(it, timer);
+  for (SolveResult& res : cols.results) finalize_solve_telemetry(res, opts);
   return std::move(cols.results);
 }
 
@@ -254,13 +278,10 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
 
   int it = 0;
   while (cols.active() > 0 && it < opts.max_iterations) {
+    obs::Span iter_span("block-fpcg.iter");
     const Index na = cols.active();
     z.resize(n, na);
-    {
-      Timer pt;
-      m.apply_many(r, z, ws.get());
-      cols.add_precond_time(pt.seconds());
-    }
+    timed_apply_many(m, r, z, ws.get(), cols);
 
     // Build the new direction block: conjugate the preconditioned residuals
     // against every stored block (coef = Qᵀ d, valid because Pᵀ A P = I per
@@ -329,6 +350,8 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
     }
     ++it;
     cols.push_history();
+    iter_span.arg("iter", it);
+    iter_span.arg("active_columns", cols.active());
 
     bool improved = false;
     for (std::size_t c = 0; c < cols.act.size(); ++c) {
@@ -364,19 +387,30 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
     res.final_relative_residual = tr / (nbj > 0.0 ? nbj : 1.0);
     if (tr <= stop) {
       res.converged = true;
+      finalize_solve_telemetry(res, opts);
       continue;
     }
     SolveOptions fb = opts;
     fb.max_iterations = std::max(1, opts.max_iterations - res.iterations);
+    // The scalar solve runs finalize_solve_telemetry itself (it is a real
+    // solve; its metrics belong in the registry). Re-derive the failure and
+    // per-column preconditioner accounting on the merged result, without
+    // recording a second set of per-solve metrics.
     SolveResult scalar = flexible_pcg(a, m, bj, x.col(j), fb);
     scalar.iterations += res.iterations;
     scalar.precond_seconds += res.precond_seconds;
+    if (cols.forensics) {
+      scalar.precond_history.insert(scalar.precond_history.begin(),
+                                    res.precond_history.begin(),
+                                    res.precond_history.end());
+    }
     scalar.total_seconds = timer.seconds();
     scalar.method = label + ">fallback:" + scalar.method;
-    if (opts.track_history) {
+    if (history_enabled(opts)) {
       scalar.history.insert(scalar.history.begin(), res.history.begin(),
                             res.history.end());
     }
+    if (!scalar.converged) scalar.failure = classify_failure(scalar, opts);
     cols.results[j] = std::move(scalar);
   }
   return std::move(cols.results);

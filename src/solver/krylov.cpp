@@ -5,6 +5,10 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/flags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "solver/telemetry.hpp"
 
 namespace ddmgnn::solver {
 
@@ -52,6 +56,56 @@ std::optional<KrylovMethod> krylov_method_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+obs::FailureReason classify_failure(const SolveResult& res,
+                                    const SolveOptions& opts) {
+  using obs::FailureReason;
+  if (res.converged) return FailureReason::kNone;
+  const double fr = res.final_relative_residual;
+  if (!std::isfinite(fr)) return FailureReason::kNan;
+  const double initial = res.history.empty() ? 1.0 : res.history.front();
+  if (fr > 10.0 * std::max(initial, 1.0)) return FailureReason::kDiverged;
+  // Stagnation: <1% improvement over the trailing 10 recorded iterations.
+  constexpr std::size_t kWindow = 10;
+  if (res.history.size() > kWindow) {
+    const double then = res.history[res.history.size() - 1 - kWindow];
+    const double now = res.history.back();
+    if (then > 0.0 && now / then > 0.99) return FailureReason::kStagnated;
+  }
+  if (res.iterations >= opts.max_iterations) {
+    return FailureReason::kMaxIterations;
+  }
+  // Early exit below the iteration budget (e.g. a BiCGStab breakdown):
+  // progress stopped, which is stagnation in all but name.
+  return res.history.empty() ? FailureReason::kMaxIterations
+                             : FailureReason::kStagnated;
+}
+
+void finalize_solve_telemetry(SolveResult& res, const SolveOptions& opts) {
+  if (res.converged) {
+    res.failure = obs::FailureReason::kNone;
+  } else if (res.failure == obs::FailureReason::kNone) {
+    res.failure = classify_failure(res, opts);
+  }
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::instance();
+  static obs::Counter& solves = reg.counter("solver.solves_total");
+  static obs::Gauge& solve_s = reg.gauge("solver.solve_seconds_total");
+  static obs::Gauge& precond_s = reg.gauge("solver.precond_seconds_total");
+  static obs::Histogram& iters = reg.histogram(
+      "solver.iterations", {},
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+  solves.inc();
+  solve_s.add(res.total_seconds);
+  precond_s.add(res.precond_seconds);
+  iters.observe(static_cast<double>(res.iterations));
+  if (!res.converged) {
+    reg.counter("solver.failures_total",
+                "method=" + res.method + ",reason=" +
+                    obs::failure_reason_name(res.failure))
+        .inc();
+  }
+}
+
 SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
                                std::span<double> x, const SolveOptions& opts) {
   check_dims(a, b, x);
@@ -67,9 +121,10 @@ SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
   double rho = dot(r, r);
   double rnorm = std::sqrt(rho);
-  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
   int it = 0;
   while (rnorm > stop && it < opts.max_iterations) {
+    obs::Span iter_span("cg.iter");
     a.multiply(p, q);
     const double alpha = rho / dot(p, q);
     axpy(alpha, p, x);
@@ -80,12 +135,15 @@ SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
     rho = rho_next;
     rnorm = std::sqrt(rho);
     ++it;
-    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    iter_span.arg("iter", it);
+    iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
   }
   res.iterations = it;
   res.converged = rnorm <= stop;
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 
@@ -97,6 +155,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   Accumulator precond_time;
   SolveResult res;
   res.method = method_label(KrylovMethod::kPcg, m);
+  std::vector<double>* series = forensic_series(res);
   const std::size_t n = b.size();
   // One preconditioner workspace per solve: applies stay allocation-free in
   // steady state and concurrent solves on one shared M never share scratch.
@@ -106,7 +165,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   {
-    ScopedAccumulate t(precond_time);
+    PrecondScope t(precond_time, series);
     m.apply(r, z, ws.get());
   }
   std::copy(z.begin(), z.end(), p.begin());
@@ -114,19 +173,22 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
   double rho = dot(r, z);
   double rnorm = norm2(r);
-  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
   int it = 0;
   while (rnorm > stop && it < opts.max_iterations) {
+    obs::Span iter_span("pcg.iter");
     a.multiply(p, q);
     const double alpha = rho / dot(p, q);
     axpy(alpha, p, x);
     axpy(-alpha, q, r);
     rnorm = norm2(r);
     ++it;
-    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    iter_span.arg("iter", it);
+    iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (rnorm <= stop) break;
     {
-      ScopedAccumulate t(precond_time);
+      PrecondScope t(precond_time, series);
       m.apply(r, z, ws.get());
     }
     const double rho_next = dot(r, z);
@@ -139,6 +201,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 
@@ -150,13 +213,14 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   Accumulator precond_time;
   SolveResult res;
   res.method = method_label(KrylovMethod::kFpcg, m);
+  std::vector<double>* series = forensic_series(res);
   const std::size_t n = b.size();
   const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n), z_prev(n), dz(n), p(n), q(n);
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   {
-    ScopedAccumulate t(precond_time);
+    PrecondScope t(precond_time, series);
     m.apply(r, z, ws.get());
   }
   std::copy(z.begin(), z.end(), p.begin());
@@ -164,16 +228,17 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
   double rho = dot(r, z);
   double rnorm = norm2(r);
-  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
   int it = 0;
   while (rnorm > stop && it < opts.max_iterations) {
+    obs::Span iter_span("fpcg.iter");
     a.multiply(p, q);
     const double pq = dot(p, q);
     if (pq <= 0.0 || rho == 0.0) {
       // Direction lost positivity (can happen with a nonlinear
       // preconditioner): restart from the preconditioned residual.
       {
-        ScopedAccumulate t(precond_time);
+        PrecondScope t(precond_time, series);
         m.apply(r, z, ws.get());
       }
       std::copy(z.begin(), z.end(), p.begin());
@@ -188,10 +253,12 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     axpy(-alpha, q, r);
     rnorm = norm2(r);
     ++it;
-    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    iter_span.arg("iter", it);
+    iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (rnorm <= stop) break;
     {
-      ScopedAccumulate t(precond_time);
+      PrecondScope t(precond_time, series);
       m.apply(r, z, ws.get());
     }
     // Polak–Ribière: β = <r, z - z_prev> / rho.
@@ -205,6 +272,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 
@@ -216,6 +284,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
   Accumulator precond_time;
   SolveResult res;
   res.method = method_label(KrylovMethod::kBicgstab, m);
+  std::vector<double>* series = forensic_series(res);
   const std::size_t n = b.size();
   const auto ws = m.make_workspace();
   std::vector<double> r(n), r0(n), p(n), v(n), s(n), t(n), ph(n), sh(n);
@@ -228,16 +297,17 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
   std::fill(p.begin(), p.end(), 0.0);
   std::fill(v.begin(), v.end(), 0.0);
   double rnorm = norm2(r);
-  if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+  if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
   int it = 0;
   while (rnorm > stop && it < opts.max_iterations) {
+    obs::Span iter_span("bicgstab.iter");
     const double rho_next = dot(r0, r);
     if (rho_next == 0.0) break;  // breakdown
     const double beta = (rho_next / rho) * (alpha / omega);
     rho = rho_next;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
     {
-      ScopedAccumulate tt(precond_time);
+      PrecondScope tt(precond_time, series);
       m.apply(p, ph, ws.get());
     }
     a.multiply(ph, v);
@@ -248,12 +318,14 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
       r = s;
       rnorm = norm2(r);
       ++it;
-      if (opts.track_history)
+      if (history_enabled(opts))
         res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+      iter_span.arg("iter", it);
+      iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
       break;
     }
     {
-      ScopedAccumulate tt(precond_time);
+      PrecondScope tt(precond_time, series);
       m.apply(s, sh, ws.get());
     }
     a.multiply(sh, t);
@@ -266,7 +338,9 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
     }
     rnorm = norm2(r);
     ++it;
-    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    iter_span.arg("iter", it);
+    iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (omega == 0.0) break;
   }
   res.iterations = it;
@@ -274,6 +348,7 @@ SolveResult bicgstab(const CsrMatrix& a, const precond::Preconditioner& m,
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 
@@ -287,6 +362,7 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
   Accumulator precond_time;
   SolveResult res;
   res.method = method_label(KrylovMethod::kGmres, m);
+  std::vector<double>* series = forensic_series(res);
   const std::size_t n = b.size();
   const auto ws = m.make_workspace();
   const double nb = norm2(b);
@@ -306,7 +382,7 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
     a.multiply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     rnorm = norm2(r);
-    if (first && opts.track_history) {
+    if (first && history_enabled(opts)) {
       res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
     }
     first = false;
@@ -319,8 +395,9 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
     g[0] = rnorm;
     int k = 0;
     for (; k < restart && total_it < opts.max_iterations; ++k) {
+      obs::Span iter_span("gmres.iter");
       {
-        ScopedAccumulate t(precond_time);
+        PrecondScope t(precond_time, series);
         m.apply(basis[k], zw, ws.get());
       }
       zs.push_back(zw);
@@ -349,8 +426,10 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
       g[k] = cs[k] * g[k];
       ++total_it;
       rnorm = std::abs(g[k + 1]);
-      if (opts.track_history)
+      if (history_enabled(opts))
         res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+      iter_span.arg("iter", total_it);
+      iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
       if (rnorm <= stop) {
         ++k;
         break;
@@ -371,6 +450,7 @@ SolveResult gmres(const CsrMatrix& a, const precond::Preconditioner& m,
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 

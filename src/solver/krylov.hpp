@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "la/csr.hpp"
+#include "obs/forensics.hpp"
 #include "precond/preconditioner.hpp"
 
 namespace ddmgnn::solver {
@@ -53,10 +54,36 @@ struct SolveResult {
   /// history[k] = ||r_k|| / ||b|| (k = 0 is the initial residual).
   std::vector<double> history;
   double total_seconds = 0.0;
-  /// Time spent inside Preconditioner::apply.
+  /// Time spent inside Preconditioner::apply. Every driver (scalar, block,
+  /// stationary) accumulates over the exact windows that also become
+  /// "precond.apply" trace spans, so the coarse correction — which runs
+  /// inside AdditiveSchwarz::apply — is included everywhere by construction.
   double precond_seconds = 0.0;
+  /// Why the solve missed tolerance (kNone when converged). Assigned by
+  /// classify_failure in every driver.
+  obs::FailureReason failure = obs::FailureReason::kNone;
+  /// Seconds of each individual preconditioner application, in order.
+  /// Captured only while obs::forensics_enabled(); empty otherwise.
+  std::vector<double> precond_history;
   std::string method;
 };
+
+/// Assign res.failure from the residual history: NaN/Inf residual → kNan;
+/// final residual grew ≥10x past its start → kDiverged; <1% improvement over
+/// the trailing 10 recorded iterations → kStagnated; otherwise kMaxIterations
+/// (also the conservative answer when track_history was off). Pure function
+/// of (res, opts); exposed so tests and post-hoc tooling can re-classify.
+obs::FailureReason classify_failure(const SolveResult& res,
+                                    const SolveOptions& opts);
+
+/// Every driver's return path: fills res.failure (kNone when converged;
+/// classify_failure otherwise, unless the driver already pinned a reason —
+/// stationary_iteration detects divergence itself) and, when metrics are
+/// enabled, records the per-solve counters/gauges/histograms
+/// (solver.solves_total, solver.solve_seconds_total,
+/// solver.precond_seconds_total, solver.iterations,
+/// solver.failures_total{method=...,reason=...}).
+void finalize_solve_telemetry(SolveResult& res, const SolveOptions& opts);
 
 /// Unpreconditioned conjugate gradient.
 SolveResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,

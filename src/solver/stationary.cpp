@@ -6,6 +6,8 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/trace.hpp"
+#include "solver/telemetry.hpp"
 
 namespace ddmgnn::solver {
 
@@ -22,6 +24,7 @@ SolveResult stationary_iteration(const CsrMatrix& a,
   Accumulator precond_time;
   SolveResult res;
   res.method = "richardson+" + m.name();
+  std::vector<double>* series = forensic_series(res);
   const std::size_t n = b.size();
   const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n);
@@ -32,17 +35,20 @@ SolveResult stationary_iteration(const CsrMatrix& a,
   double rnorm = 0.0;
   bool diverged = false;
   while (true) {
+    obs::Span iter_span("richardson.iter");
     a.multiply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     rnorm = la::norm2(r);
-    if (opts.track_history) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    if (history_enabled(opts)) res.history.push_back(rnorm / (nb > 0 ? nb : 1.0));
+    iter_span.arg("iter", it);
+    iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (!std::isfinite(rnorm) || rnorm > diverged_at) {
       diverged = true;
       break;
     }
     if (rnorm <= stop || it >= opts.max_iterations) break;
     {
-      ScopedAccumulate t(precond_time);
+      PrecondScope t(precond_time, series);
       m.apply(r, z, ws.get());
     }
     la::axpy(damping, z, x);
@@ -53,6 +59,14 @@ SolveResult stationary_iteration(const CsrMatrix& a,
   res.final_relative_residual = rnorm / (nb > 0 ? nb : 1.0);
   res.total_seconds = timer.seconds();
   res.precond_seconds = precond_time.total();
+  if (diverged) {
+    // The driver watched the residual cross kDivergenceFactor (or go
+    // non-finite) itself — record the direct observation rather than
+    // re-deriving it from the history.
+    res.failure = std::isfinite(rnorm) ? obs::FailureReason::kDiverged
+                                       : obs::FailureReason::kNan;
+  }
+  finalize_solve_telemetry(res, opts);
   return res;
 }
 

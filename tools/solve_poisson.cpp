@@ -25,6 +25,10 @@
 // the setup cost amortize away.
 // --threads N pins the worker-thread count (reported as threads= on every
 // result line so timings stay interpretable).
+// --verbose-timing prints a one-line phase summary (setup / iterate /
+// precond / coarse seconds) after each solve, sourced from the obs metrics
+// registry. --trace out.json captures a Chrome trace_event timeline;
+// --metrics out.json dumps the registry snapshot at exit.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +43,10 @@
 #include "gnn/model_io.hpp"
 #include "la/mm_io.hpp"
 #include "mesh/generator.hpp"
+#include "obs/flags.hpp"
+#include "obs/forensics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "precond/registry.hpp"
 #include "solver/stationary.hpp"
 
@@ -55,6 +63,59 @@ const char* arg_str(int argc, char** argv, const char* name,
 double arg_num(int argc, char** argv, const char* name, double fallback) {
   const char* s = arg_str(argc, argv, name, nullptr);
   return s ? std::atof(s) : fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+double gauge_value(const char* name) {
+  const ddmgnn::obs::Gauge* g =
+      ddmgnn::obs::Registry::instance().find_gauge(name);
+  return g != nullptr ? g->value() : 0.0;
+}
+
+/// Registry snapshot of the phase gauges the --verbose-timing summary is
+/// diffed against (per solve, so repeat runs show their own share).
+struct PhaseSnapshot {
+  double solve = 0.0;
+  double precond = 0.0;
+  double coarse = 0.0;
+
+  static PhaseSnapshot take() {
+    PhaseSnapshot s;
+    s.solve = gauge_value("solver.solve_seconds_total");
+    s.precond = gauge_value("solver.precond_seconds_total");
+    s.coarse = gauge_value("asm.coarse_seconds");
+    return s;
+  }
+};
+
+void print_phase_summary(const PhaseSnapshot& before, double setup_seconds) {
+  const PhaseSnapshot now = PhaseSnapshot::take();
+  const double solve = now.solve - before.solve;
+  const double precond = now.precond - before.precond;
+  const double coarse = now.coarse - before.coarse;
+  // "iterate" is the Krylov work outside the preconditioner: SpMV,
+  // orthogonalization, vector updates.
+  std::printf("timing: setup=%.4f iterate=%.4f precond=%.4f coarse=%.4f\n",
+              setup_seconds, solve - precond, precond, coarse);
+}
+
+/// Flush --trace / --metrics artifacts; called on every exit path that
+/// follows a solve.
+void write_obs_outputs(const char* trace_path, const char* metrics_path) {
+  if (metrics_path != nullptr) {
+    ddmgnn::obs::Registry::instance().write_json(metrics_path);
+    std::printf("metrics: %s\n", metrics_path);
+  }
+  if (trace_path != nullptr) {
+    ddmgnn::obs::TraceRecorder::instance().write_chrome_trace(trace_path);
+    std::printf("trace: %s\n", trace_path);
+  }
 }
 
 }  // namespace
@@ -78,6 +139,18 @@ int main(int argc, char** argv) {
     set_num_threads(threads_flag);
   }
   const int threads = num_threads();
+
+  const char* trace_path = arg_str(argc, argv, "--trace", nullptr);
+  const char* metrics_path = arg_str(argc, argv, "--metrics", nullptr);
+  const bool verbose_timing = has_flag(argc, argv, "--verbose-timing");
+  if (trace_path != nullptr) obs::set_trace_enabled(true);
+  // The phase summary and the snapshot both read registry gauges, so either
+  // consumer (as well as --trace, whose snapshot names the dominant phase)
+  // turns metrics collection on. Flags are set before setup so the
+  // setup.* phases are captured too.
+  if (metrics_path != nullptr || trace_path != nullptr || verbose_timing) {
+    obs::set_metrics_enabled(true);
+  }
 
   if (!precond::PrecondRegistry::instance().contains(precond)) {
     std::fprintf(stderr, "unknown --precond %s; registered:", precond.c_str());
@@ -201,15 +274,20 @@ int main(int argc, char** argv) {
     solver::SolveOptions opts;
     opts.rel_tol = cfg.rel_tol;
     opts.max_iterations = cfg.max_iterations;
+    const PhaseSnapshot before = PhaseSnapshot::take();
     const auto res = solver::stationary_iteration(
         prob.A, session.preconditioner(), prob.b, x, opts, omega);
     std::printf("method=richardson+%s N=%d K=%d threads=%d omega=%.4f%s "
-                "iters=%d rel_res=%.3e T=%.4f setup=%.4f converged=%d\n",
+                "iters=%d rel_res=%.3e T=%.4f setup=%.4f converged=%d "
+                "failure=%s\n",
                 session.preconditioner().name().c_str(), problem_nodes,
                 session.num_subdomains(), threads, omega,
                 omega_str != nullptr ? "" : "(auto)", res.iterations,
                 res.final_relative_residual, res.total_seconds,
-                session.setup_seconds(), res.converged ? 1 : 0);
+                session.setup_seconds(), res.converged ? 1 : 0,
+                obs::failure_reason_name(res.failure));
+    if (verbose_timing) print_phase_summary(before, session.setup_seconds());
+    write_obs_outputs(trace_path, metrics_path);
     if (!res.converged) {
       const bool blew_up =
           !res.history.empty() &&
@@ -238,15 +316,21 @@ int main(int argc, char** argv) {
   std::vector<double> x(prob.b.size());
   for (int run = 0; run < std::max(1, repeat); ++run) {
     std::fill(x.begin(), x.end(), 0.0);
+    const PhaseSnapshot before = PhaseSnapshot::take();
     const auto res = session.solve(prob.b, x);
     std::printf("method=%s precond=%s N=%d K=%d threads=%d iters=%d "
-                "rel_res=%.3e T=%.4f T_precond=%.4f setup=%.4f converged=%d\n",
+                "rel_res=%.3e T=%.4f T_precond=%.4f setup=%.4f converged=%d "
+                "failure=%s\n",
                 res.method.c_str(), precond.c_str(), problem_nodes,
                 session.num_subdomains(), threads, res.iterations,
                 res.final_relative_residual, res.total_seconds,
                 res.precond_seconds, run == 0 ? session.setup_seconds() : 0.0,
-                res.converged ? 1 : 0);
+                res.converged ? 1 : 0, obs::failure_reason_name(res.failure));
+    if (verbose_timing) {
+      print_phase_summary(before, run == 0 ? session.setup_seconds() : 0.0);
+    }
     all_converged = all_converged && res.converged;
   }
+  write_obs_outputs(trace_path, metrics_path);
   return all_converged ? 0 : 1;
 }
