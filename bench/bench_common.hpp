@@ -95,6 +95,14 @@ struct AnyProblem {
   }
 };
 
+/// Value-less boolean flag (e.g. `--require-converged`).
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 inline const char* find_flag(int argc, char** argv, const char* name) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
@@ -178,6 +186,14 @@ class JsonRecord {
   }
   JsonRecord& add(const std::string& key, bool v) {
     return raw(key, v ? "true" : "false");
+  }
+  JsonRecord& add(const std::string& key, const std::vector<long>& vs) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i > 0) arr += ",";
+      arr += std::to_string(vs[i]);
+    }
+    return raw(key, arr + "]");
   }
   JsonRecord& add(const std::string& key, const std::string& v) {
     std::string quoted = "\"";

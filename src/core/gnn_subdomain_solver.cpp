@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "gnn/dss_kernels.hpp"
 #include "la/vector_ops.hpp"
@@ -157,6 +158,122 @@ void GnnSubdomainSolver::setup(std::vector<la::CsrMatrix> local_matrices,
     if (obs::metrics_enabled()) g.add(edge_cache_seconds.load());
     setup_span.arg("edge_cache_cpu_seconds", edge_cache_seconds.load());
   }
+
+  refine_steps_.clear();
+  fallback_.clear();
+  fallback_count_ = 0;
+  if (!options_.adaptive_refinement) return;
+
+  // Refine-until-contractive: probe each subdomain with deterministic unit
+  // residuals and keep the smallest pass count whose measured contraction
+  // ‖r − A_i z‖/‖r‖ meets the target; subdomains the model cannot contract
+  // within the pass budget get an exact Cholesky fallback. With
+  // cost_aware_fallback, contractive subdomains additionally get the exact
+  // solve when a flop model (deterministic — no timing, so the chosen
+  // configuration is reproducible across runs and machines) predicts the
+  // refined GNN apply to cost more than fallback_cost_margin × the envelope
+  // sweeps.
+  refine_steps_.assign(k, std::max(0, options_.refinement_steps));
+  fallback_.resize(k);
+  const int max_steps =
+      std::max(options_.refinement_steps, options_.max_refinement_steps);
+  const int probes = std::max(1, options_.probes);
+  const double target = options_.contraction_target;
+  const gnn::DssConfig& mc = model_->config();
+  std::atomic<la::Index> fallbacks{0};
+  parallel_for_dynamic(k, [&](long i) {
+    const auto& topo = topologies_[i];
+    const auto n = static_cast<std::size_t>(topo->n);
+    gnn::DssWorkspace dss;  // setup-time scratch, dropped after probing
+    gnn::GraphSample sample;
+    sample.topo = topo;
+    sample.rhs.resize(n);
+    std::vector<float> out;
+    std::vector<double> r(n), z(n), res(n);
+    int needed = -1;  // pass count reaching the target, max over probes
+    for (int probe = 0; probe < probes; ++probe) {
+      Rng rng((0x5EEDull << 32) ^ (static_cast<std::uint64_t>(i) << 8) ^
+              static_cast<std::uint64_t>(probe));
+      for (std::size_t l = 0; l < n; ++l) r[l] = rng.uniform(-1.0, 1.0);
+      const double r0 = la::norm2(r);
+      std::fill(z.begin(), z.end(), 0.0);
+      res = r;
+      int reached = -1;
+      for (int pass = 0; pass <= max_steps; ++pass) {
+        const double norm = la::norm2(res);
+        if (norm <= options_.zero_threshold) {
+          reached = pass == 0 ? 0 : pass - 1;
+          break;
+        }
+        const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
+        for (std::size_t l = 0; l < n; ++l) sample.rhs[l] = res[l] * inv;
+        timed_forward(*model_, sample, edge_caches_[i].get(), dss, out);
+        const double scale = options_.normalize_input ? norm : 1.0;
+        for (std::size_t l = 0; l < n; ++l) {
+          z[l] += scale * static_cast<double>(out[l]);
+        }
+        topo->a_local.multiply(z, res);
+        for (std::size_t l = 0; l < n; ++l) res[l] = r[l] - res[l];
+        const double rho = la::norm2(res) / (r0 > 0.0 ? r0 : 1.0);
+        if (std::isfinite(rho) && rho <= target) {
+          reached = pass;
+          break;
+        }
+      }
+      if (reached < 0) {
+        needed = -1;  // one bad probe disqualifies the subdomain
+        break;
+      }
+      needed = std::max(needed, reached);
+    }
+    bool use_fallback = needed < 0;  // non-contractive: correctness fallback
+    std::unique_ptr<la::SkylineCholesky> chol;
+    if (!use_fallback && options_.cost_aware_fallback) {
+      // Cost model, per preconditioner application. Exact: forward+backward
+      // envelope sweeps, 2 flops per stored entry each (the factorization is
+      // one-time setup cost, not counted). GNN: (passes+1) inferences, each
+      // k̄ message-passing iterations of two n×d×hidden edge-endpoint
+      // projections, the ne×hidden×d edge-MLP layer-2 GEMM, and the ~3
+      // d×d-shaped node-update GEMMs.
+      chol = std::make_unique<la::SkylineCholesky>(topo->a_local);
+      const double exact_flops =
+          4.0 * static_cast<double>(chol->envelope_size());
+      const double nd = static_cast<double>(topo->n);
+      const double ne = static_cast<double>(topo->num_edges());
+      const double d = static_cast<double>(mc.latent);
+      const double h = static_cast<double>(mc.hidden);
+      const double per_inference =
+          static_cast<double>(mc.iterations) *
+          (4.0 * nd * d * h + 2.0 * ne * h * d + 6.0 * nd * d * d);
+      const double gnn_flops = (needed + 1) * per_inference;
+      use_fallback =
+          gnn_flops > options_.fallback_cost_margin * exact_flops;
+    }
+    if (use_fallback) {
+      if (!chol) chol = std::make_unique<la::SkylineCholesky>(topo->a_local);
+      if (options_.fp32_fallback) chol->enable_fp32();
+      fallback_[i] = std::move(chol);
+      fallbacks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      refine_steps_[i] = std::max(refine_steps_[i], needed);
+    }
+  });
+  fallback_count_ = fallbacks.load();
+  int max_chosen = 0;
+  for (la::Index i = 0; i < k; ++i) {
+    if (!fallback_[i]) max_chosen = std::max(max_chosen, refine_steps_[i]);
+  }
+  setup_span.arg("adaptive_fallback_subdomains",
+                 static_cast<double>(fallback_count_));
+  setup_span.arg("adaptive_max_passes", static_cast<double>(max_chosen));
+  if (obs::metrics_enabled()) {
+    obs::Registry::instance()
+        .gauge("gnn.adaptive_fallback_subdomains")
+        .set(static_cast<double>(fallback_count_));
+    obs::Registry::instance()
+        .gauge("gnn.adaptive_max_passes")
+        .set(static_cast<double>(max_chosen));
+  }
 }
 
 std::unique_ptr<precond::SubdomainSolver::Workspace>
@@ -211,13 +328,25 @@ void GnnSubdomainSolver::solve_all(
     const auto& r = r_loc[i];
     auto& z = z_loc[i];
     const std::size_t n = r.size();
+    if (!fallback_.empty() && fallback_[i] != nullptr) {
+      // Non-contractive subdomain: exact local solve (adaptive setup).
+      z.assign(r.begin(), r.end());
+      if (options_.fp32_fallback) {
+        fallback_[i]->solve_inplace_fp32(z);
+      } else {
+        fallback_[i]->solve_inplace(z);
+      }
+      continue;
+    }
+    const int steps =
+        refine_steps_.empty() ? options_.refinement_steps : refine_steps_[i];
     z.assign(n, 0.0);
     gnn::GraphSample& sample = lane.sample;
     sample.topo = topo;
     sample.rhs.resize(n);
     std::vector<float>& out = lane.out;
     std::vector<double> res(r.begin(), r.end());  // current local residual
-    for (int pass = 0; pass <= options_.refinement_steps; ++pass) {
+    for (int pass = 0; pass <= steps; ++pass) {
       const double norm = la::norm2(res);
       if (norm <= options_.zero_threshold) break;
       const double inv = options_.normalize_input ? 1.0 / norm : 1.0;
@@ -227,7 +356,7 @@ void GnnSubdomainSolver::solve_all(
       for (std::size_t j = 0; j < n; ++j) {
         z[j] += scale * static_cast<double>(out[j]);
       }
-      if (pass == options_.refinement_steps) break;
+      if (pass == steps) break;
       // res = r − A_i z for the next correction pass.
       topo->a_local.multiply(z, res);
       for (std::size_t j = 0; j < n; ++j) res[j] = r[j] - res[j];
@@ -249,10 +378,21 @@ constexpr std::size_t kMaxShardPlans = 6;
 GnnSubdomainSolver::ShardPlan GnnSubdomainSolver::build_shards(
     la::Index s) const {
   const auto k = static_cast<la::Index>(topologies_.size());
+  // Fallback subdomains (adaptive setup) are served by their Cholesky factor
+  // outside the merged shards.
+  auto sharded = [&](la::Index i) {
+    return fallback_.empty() || fallback_[i] == nullptr;
+  };
   long total_nodes = 0;
-  for (const auto& t : topologies_) total_nodes += t->n;
+  la::Index sharded_parts = 0;
+  for (la::Index i = 0; i < k; ++i) {
+    if (!sharded(i)) continue;
+    total_nodes += topologies_[i]->n;
+    ++sharded_parts;
+  }
   total_nodes *= s;
-  const long ntasks = static_cast<long>(k) * s;
+  const long ntasks = static_cast<long>(sharded_parts) * s;
+  if (ntasks == 0) return ShardPlan{};
   const long by_budget = (total_nodes + kShardNodeBudget - 1) /
                          kShardNodeBudget;
   const long nshards =
@@ -290,6 +430,7 @@ GnnSubdomainSolver::ShardPlan GnnSubdomainSolver::build_shards(
   };
   for (la::Index j = 0; j < s; ++j) {
     for (la::Index i = 0; i < k; ++i) {
+      if (!sharded(i)) continue;
       if (shard_nodes > 0 && shard_nodes + topologies_[i]->n > node_target) {
         flush();
       }
@@ -363,14 +504,30 @@ void GnnSubdomainSolver::solve_all_block(
     std::vector<float>& out = lane.out;
     lane.scale.assign(nt, 0.0);
     std::vector<double>& rhs = merged.rhs;
-    if (options_.refinement_steps > 0) {
+    // Adaptive setup gives every subdomain its own pass count; the shard
+    // iterates to the largest one and tasks that are done contribute a zero
+    // slice (and a zero scale), exactly like the below-threshold case.
+    auto steps_for = [&](la::Index part) {
+      return refine_steps_.empty() ? options_.refinement_steps
+                                   : refine_steps_[part];
+    };
+    int shard_steps = 0;
+    for (const ShardTask& task : shard.tasks) {
+      shard_steps = std::max(shard_steps, steps_for(task.part));
+    }
+    if (shard_steps > 0) {
       lane.res.resize(nt);
     }
-    for (int pass = 0; pass <= options_.refinement_steps; ++pass) {
+    for (int pass = 0; pass <= shard_steps; ++pass) {
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
         const la::Index n = topologies_[task.part]->n;
         const la::Index off = shard.batch.offsets[task.slot];
+        if (pass > steps_for(task.part)) {
+          lane.scale[t] = 0.0;
+          std::fill(rhs.begin() + off, rhs.begin() + off + n, 0.0);
+          continue;
+        }
         const std::span<const double> cur =
             pass == 0 ? r_loc[task.part].col(task.column)
                       : std::span<const double>(lane.res[t]);
@@ -396,9 +553,10 @@ void GnnSubdomainSolver::solve_all_block(
           z[l] += lane.scale[t] * static_cast<double>(out[off + l]);
         }
       }
-      if (pass == options_.refinement_steps) break;
+      if (pass == shard_steps) break;
       for (std::size_t t = 0; t < nt; ++t) {
         const ShardTask& task = shard.tasks[t];
+        if (pass >= steps_for(task.part)) continue;
         const auto& topo = topologies_[task.part];
         lane.res[t].resize(topo->n);
         topo->a_local.multiply(z_loc[task.part].col(task.column), lane.res[t]);
@@ -409,6 +567,30 @@ void GnnSubdomainSolver::solve_all_block(
       }
     }
     merged.topo.reset();
+  }
+
+  if (fallback_count_ > 0) {
+    // Exact-local-solve subdomains (adaptive setup) run outside the merged
+    // shards: per (subdomain, column), copy the residual and sweep.
+    std::vector<la::Index> fb;
+    fb.reserve(static_cast<std::size_t>(fallback_count_));
+    for (std::size_t i = 0; i < fallback_.size(); ++i) {
+      if (fallback_[i] != nullptr) fb.push_back(static_cast<la::Index>(i));
+    }
+    const long nfb = static_cast<long>(fb.size()) * s;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(team)
+    for (long t = 0; t < nfb; ++t) {
+      const la::Index part = fb[static_cast<std::size_t>(t / s)];
+      const auto col = static_cast<la::Index>(t % s);
+      auto z = z_loc[part].col(col);
+      const auto r = r_loc[part].col(col);
+      for (std::size_t l = 0; l < z.size(); ++l) z[l] = r[l];
+      if (options_.fp32_fallback) {
+        fallback_[part]->solve_inplace_fp32(z);
+      } else {
+        fallback_[part]->solve_inplace(z);
+      }
+    }
   }
 }
 

@@ -26,6 +26,7 @@
 #include "gnn/batch.hpp"
 #include "gnn/dss_model.hpp"
 #include "gnn/graph.hpp"
+#include "la/skyline_cholesky.hpp"
 #include "mesh/mesh.hpp"
 #include "precond/subdomain_solver.hpp"
 
@@ -43,6 +44,38 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
     /// inference — the repo's compensation for its smaller CPU training
     /// budget (see DESIGN.md); the ablation bench quantifies it.
     int refinement_steps = 0;
+    /// Refine-until-contractive setup (the served-configuration fix): probe
+    /// each subdomain at setup() with a few deterministic residuals, run the
+    /// refinement loop on the probe, and keep the smallest pass count whose
+    /// measured contraction ‖r − A_i z‖/‖r‖ reaches contraction_target. A
+    /// subdomain still above the target after max_refinement_steps extra
+    /// passes is non-contractive for this model and falls back to an exact
+    /// skyline-Cholesky local solve. refinement_steps then acts as the
+    /// per-subdomain floor.
+    bool adaptive_refinement = false;
+    double contraction_target = 0.25;
+    int max_refinement_steps = 3;
+    int probes = 2;
+    /// Within the adaptive setup, also fall back to the exact solve when a
+    /// deterministic flop model says the refined GNN apply costs more than
+    /// cost_margin × the Cholesky sweeps. A contractive-but-uneconomic
+    /// subdomain is a real serving failure mode on CPU: at small subdomain
+    /// sizes the envelope sweep is both cheaper AND exact, and the GNN local
+    /// solve only pays off where batched inference amortizes (large
+    /// subdomains, GPU-class backends). Set false to force the GNN apply on
+    /// every contractive subdomain regardless of cost (ablations, kernel
+    /// benchmarking).
+    bool cost_aware_fallback = true;
+    /// GNN must be predicted MORE than this many times costlier than the
+    /// exact sweeps before cost alone triggers the fallback — a wide margin,
+    /// so only overwhelming mismatches (100×+ is typical at Ns≈350 on CPU)
+    /// flip, never modeling noise.
+    double fallback_cost_margin = 8.0;
+    /// Run the Cholesky-fallback sweeps on an fp32 factor copy — the local
+    /// piece of a mixed-precision apply (pair with SolveOptions::precond_fp32;
+    /// the outer Krylov's flexibility/true-residual guard absorbs the
+    /// rounding).
+    bool fp32_fallback = false;
   };
 
   /// `model` must outlive the solver. `m` supplies node geometry and the
@@ -106,6 +139,13 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   /// this so the SessionCache byte budget tracks what the solver holds).
   std::size_t plan_cache_bytes() const;
 
+  /// Adaptive-setup outcome. refinement_schedule()[i] is subdomain i's chosen
+  /// pass count (ignore entries with a fallback); empty when
+  /// adaptive_refinement is off. fallback_count() is the number of
+  /// subdomains served by the exact Cholesky fallback.
+  const std::vector<int>& refinement_schedule() const { return refine_steps_; }
+  la::Index fallback_count() const { return fallback_count_; }
+
  private:
   struct ShardTask {
     la::Index part;    // subdomain index
@@ -143,6 +183,12 @@ class GnnSubdomainSolver final : public precond::SubdomainSolver {
   Options options_;
   std::vector<std::shared_ptr<gnn::GraphTopology>> topologies_;
   std::vector<std::shared_ptr<const gnn::DssEdgeCache>> edge_caches_;
+  /// Adaptive-setup state (empty when adaptive_refinement is off): chosen
+  /// per-subdomain pass counts and, for non-contractive subdomains, the
+  /// exact Cholesky fallback factors. Immutable after setup().
+  std::vector<int> refine_steps_;
+  std::vector<std::unique_ptr<la::SkylineCholesky>> fallback_;
+  la::Index fallback_count_ = 0;
   mutable std::shared_mutex plans_mutex_;
   mutable std::vector<std::pair<la::Index, std::shared_ptr<const ShardPlan>>>
       plans_;  // guarded by plans_mutex_

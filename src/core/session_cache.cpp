@@ -66,6 +66,11 @@ std::uint64_t fingerprint_of(const la::CsrMatrix& A, const HybridConfig& cfg,
   h = hash_pod(cfg.model, h);  // identity of the shared trained model
   h = hash_pod(cfg.gnn_refinement_steps, h);
   h = hash_pod(cfg.gnn_normalize, h);
+  h = hash_pod(cfg.gnn_adaptive_refinement, h);
+  h = hash_pod(cfg.gnn_contraction_target, h);
+  h = hash_pod(cfg.gnn_max_refinement_steps, h);
+  h = hash_pod(cfg.gnn_cost_aware_fallback, h);
+  h = hash_pod(cfg.precond_fp32, h);
   h = hash_pod(cfg.seed, h);
   h = hash_pod(cfg.track_history, h);
   h = hash_pod(cfg.block_multi_rhs, h);
@@ -93,7 +98,12 @@ bool configs_equal(const HybridConfig& a, const HybridConfig& b) {
          a.max_iterations == b.max_iterations &&
          a.gmres_restart == b.gmres_restart && a.model == b.model &&
          a.gnn_refinement_steps == b.gnn_refinement_steps &&
-         a.gnn_normalize == b.gnn_normalize && a.seed == b.seed &&
+         a.gnn_normalize == b.gnn_normalize &&
+         a.gnn_adaptive_refinement == b.gnn_adaptive_refinement &&
+         a.gnn_contraction_target == b.gnn_contraction_target &&
+         a.gnn_max_refinement_steps == b.gnn_max_refinement_steps &&
+         a.gnn_cost_aware_fallback == b.gnn_cost_aware_fallback &&
+         a.precond_fp32 == b.precond_fp32 && a.seed == b.seed &&
          a.track_history == b.track_history &&
          a.block_multi_rhs == b.block_multi_rhs;
 }

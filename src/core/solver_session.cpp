@@ -74,6 +74,11 @@ void SolverSession::setup_from_graph(const la::CsrMatrix& A,
   ctx.model = cfg.model;
   ctx.gnn_refinement_steps = cfg.gnn_refinement_steps;
   ctx.gnn_normalize = cfg.gnn_normalize;
+  ctx.gnn_adaptive_refinement = cfg.gnn_adaptive_refinement;
+  ctx.gnn_contraction_target = cfg.gnn_contraction_target;
+  ctx.gnn_max_refinement_steps = cfg.gnn_max_refinement_steps;
+  ctx.gnn_cost_aware_fallback = cfg.gnn_cost_aware_fallback;
+  ctx.gnn_fp32_fallback = cfg.precond_fp32;
   // The message-graph pattern is only materialized for geometry consumers
   // (the GNN entries); the factories copy it, so it can live on this stack.
   la::CsrMatrix pattern;
@@ -97,8 +102,11 @@ void SolverSession::setup_from_graph(const la::CsrMatrix& A,
   } else if (canonical == "none") {
     method_ = solver::KrylovMethod::kCg;
   } else {
-    method_ = m_inv_->is_symmetric() ? solver::KrylovMethod::kPcg
-                                     : solver::KrylovMethod::kFpcg;
+    // fp32 rounding makes even a symmetric M effectively nonlinear, so the
+    // default selection needs the flexible variant too.
+    const bool flexible = !m_inv_->is_symmetric() || cfg.precond_fp32;
+    method_ = flexible ? solver::KrylovMethod::kFpcg
+                       : solver::KrylovMethod::kPcg;
   }
 }
 
@@ -169,6 +177,7 @@ solver::SolveResult SolverSession::solve(std::span<const double> b,
   opts.max_iterations = cfg_.max_iterations;
   opts.track_history = cfg_.track_history;
   opts.gmres_restart = cfg_.gmres_restart;
+  opts.precond_fp32 = cfg_.precond_fp32;
   solver::SolveResult res =
       solver::run_krylov(method_, *a_, *m_inv_, b, x, opts);
   solve_span.arg("iterations", res.iterations);
@@ -197,6 +206,7 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
     opts.max_iterations = cfg_.max_iterations;
     opts.track_history = cfg_.track_history;
     opts.gmres_restart = cfg_.gmres_restart;
+    opts.precond_fp32 = cfg_.precond_fp32;
     const la::MultiVector b = la::MultiVector::from_columns(rhs);
     la::MultiVector x(b.rows(), b.cols(), 0.0);
     auto results =

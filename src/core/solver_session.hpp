@@ -65,6 +65,27 @@ struct HybridConfig {
   int gnn_refinement_steps = 0;
   /// §III-A residual normalization (ablation switch).
   bool gnn_normalize = true;
+  /// Refine-until-contractive setup (GnnSubdomainSolver::Options): probe
+  /// each subdomain at setup, pick the pass count that actually contracts
+  /// the local residual, and fall back to an exact Cholesky local solve for
+  /// subdomains the model cannot contract. This is the served-configuration
+  /// convergence fix — off by default so existing configs are bit-for-bit
+  /// unchanged; gnn_refinement_steps acts as the per-subdomain floor.
+  bool gnn_adaptive_refinement = false;
+  double gnn_contraction_target = 0.25;
+  int gnn_max_refinement_steps = 3;
+  /// Adaptive mode also serves a subdomain with the exact factor when the
+  /// (deterministic) flop model predicts the refined GNN apply to cost
+  /// overwhelmingly more than the envelope sweeps — on CPU at small Ns the
+  /// exact sweep is both cheaper and a better local solve. Disable to force
+  /// the GNN apply on every contractive subdomain (ablations).
+  bool gnn_cost_aware_fallback = true;
+  /// Run preconditioner applications through fp32 (round the residual in,
+  /// the correction out; Cholesky fallbacks sweep an fp32 factor copy). The
+  /// outer Krylov recurrences stay fp64. Makes the preconditioner
+  /// effectively nonlinear, so the default-method selection bumps PCG to
+  /// flexible PCG when enabled.
+  bool precond_fp32 = false;
   std::uint64_t seed = 0;
   bool track_history = true;
   /// solve_many: dispatch to the batched block-Krylov engine (one fused

@@ -1,5 +1,6 @@
 #include "gnn/dss_kernels.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -13,6 +14,10 @@ namespace ddmgnn::gnn {
 namespace {
 constexpr long kEdgeGrain = 2048;  // per-edge kernels: rows per fork threshold
 constexpr long kNodeGrain = 2048;  // per-node kernels
+// fused_layer2_aggregate: edges per register-blocked batch. At the paper's
+// widths (hidden = latent = 10) one batch is ~10 KB of activations+messages —
+// resident in L1 while the layer-2 GEMM consumes it.
+constexpr int kFusedEdgeBlock = 128;
 }  // namespace
 
 void record_phase_profile(const DssPhaseProfile& prof, std::int64_t start_ns,
@@ -170,6 +175,69 @@ void gather_edge_preact(const GraphTopology& topo, const nn::Tensor& p_recv,
         }
       },
       kEdgeGrain);
+}
+
+void fused_layer2_aggregate(const GraphTopology& topo,
+                            const nn::Tensor& p_recv,
+                            const nn::Tensor& p_send,
+                            const nn::Tensor& attr_proj, const float* w2,
+                            const float* b2, int out, nn::Tensor& phi) {
+  const Index n = topo.n;
+  DDMGNN_CHECK(topo.recv_ptr.size() == static_cast<std::size_t>(n) + 1,
+               "fused_layer2_aggregate: topology not finalized "
+               "(call finalize_topology)");
+  const int hid = p_recv.cols;
+  DDMGNN_ASSERT(p_send.cols == hid && attr_proj.cols == hid &&
+                attr_proj.rows == topo.num_edges());
+  phi.resize(n, out);
+  if (n == 0 || out == 0) return;
+  // Pre-transpose W₂ to [hid × out] once, outside the node loop, exactly as
+  // fused_gemm would — the per-row GEMM below then matches it bitwise.
+  std::vector<float> wt(static_cast<std::size_t>(hid) * out);
+  for (int o = 0; o < out; ++o) {
+    const float* wo = w2 + static_cast<std::size_t>(o) * hid;
+    for (int k = 0; k < hid; ++k) {
+      wt[static_cast<std::size_t>(k) * out + o] = wo[k];
+    }
+  }
+  const float* wtp = wt.data();
+  parallel_for(
+      n,
+      [&](long j) {
+        thread_local nn::Tensor act;  // batch activations (≤ block × hid)
+        thread_local nn::Tensor msg;  // batch messages (≤ block × out)
+        float* dst = phi.row(static_cast<int>(j));
+        for (int k = 0; k < out; ++k) dst[k] = 0.0f;
+        const la::Offset lo = topo.recv_ptr[j];
+        const la::Offset hi = topo.recv_ptr[j + 1];
+        // Every edge in node j's segment has recv[e] == j.
+        const float* pr = p_recv.row(static_cast<int>(j));
+        for (la::Offset base = lo; base < hi; base += kFusedEdgeBlock) {
+          const int nb = static_cast<int>(
+              std::min<la::Offset>(kFusedEdgeBlock, hi - base));
+          act.resize(nb, hid);
+          msg.resize(nb, out);
+          for (int r = 0; r < nb; ++r) {
+            const Index e = topo.recv_order[base + r];
+            const float* ps = p_send.row(topo.send[e]);
+            const float* ap = attr_proj.row(e);
+            float* row = act.row(r);
+#pragma omp simd
+            for (int o = 0; o < hid; ++o) {
+              const float v = pr[o] + ps[o] + ap[o];
+              row[o] = v > 0.0f ? v : 0.0f;
+            }
+          }
+          nn::fused_gemm_rows(wtp, hid, out, b2, /*relu=*/false, act, msg, 0,
+                              nb);
+          for (int r = 0; r < nb; ++r) {
+            const float* src = msg.row(r);
+#pragma omp simd
+            for (int k = 0; k < out; ++k) dst[k] += src[k];
+          }
+        }
+      },
+      kNodeGrain);
 }
 
 }  // namespace ddmgnn::gnn

@@ -103,4 +103,20 @@ void gather_edge_preact(const GraphTopology& topo, const nn::Tensor& p_recv,
                         const nn::Tensor& p_send, const nn::Tensor& attr_proj,
                         nn::Tensor& e_act);
 
+/// Fused layer2 + aggregate: the gather, the edge MLP's second-layer GEMM
+/// (`w2` row-major [out × in], bias `b2`), and the receiver-CSR segmented
+/// reduction in one pass. Edges are consumed per receiver node in recv_order,
+/// in small register-blocked batches whose layer-2 output rows are
+/// accumulated straight into phi[j] — the ne×hidden activation and ne×out
+/// message matrices of the two-step path are never materialized. Per-row
+/// GEMM arithmetic is fused_gemm's and the per-node accumulation order is
+/// aggregate_segmented's, so the result is bitwise equal to
+/// gather_edge_preact + forward_fused + aggregate_segmented at any thread
+/// count and any batch boundary. Requires finalize_topology().
+void fused_layer2_aggregate(const GraphTopology& topo,
+                            const nn::Tensor& p_recv,
+                            const nn::Tensor& p_send,
+                            const nn::Tensor& attr_proj, const float* w2,
+                            const float* b2, int out, nn::Tensor& phi);
+
 }  // namespace ddmgnn::gnn

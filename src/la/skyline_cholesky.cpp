@@ -114,4 +114,43 @@ std::vector<double> SkylineCholesky::solve(std::span<const double> b) const {
   return x;
 }
 
+void SkylineCholesky::enable_fp32() {
+  if (!values_f32_.empty()) return;
+  values_f32_.assign(values_.begin(), values_.end());
+}
+
+void SkylineCholesky::solve_inplace_fp32(std::span<double> b) const {
+  DDMGNN_CHECK(b.size() == static_cast<std::size_t>(n_),
+               "SkylineCholesky::solve dims");
+  DDMGNN_CHECK(!values_f32_.empty(),
+               "SkylineCholesky::solve_inplace_fp32: call enable_fp32 first");
+  const bool permuted = !perm_.empty();
+  std::vector<float> y(n_);
+  if (permuted) {
+    for (Index p = 0; p < n_; ++p) y[p] = static_cast<float>(b[perm_[p]]);
+  } else {
+    for (Index i = 0; i < n_; ++i) y[i] = static_cast<float>(b[i]);
+  }
+  // Same two sweeps as solve_inplace, on the fp32 factor copy.
+  for (Index i = 0; i < n_; ++i) {
+    const float* row_i = &values_f32_[offset_[i]];
+    const Index fi = first_[i];
+    float acc = y[i];
+    for (Index k = fi; k < i; ++k) acc -= row_i[k - fi] * y[k];
+    y[i] = acc / row_i[i - fi];
+  }
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const float* row_i = &values_f32_[offset_[i]];
+    const Index fi = first_[i];
+    const float xi = y[i] / row_i[i - fi];
+    y[i] = xi;
+    for (Index k = fi; k < i; ++k) y[k] -= row_i[k - fi] * xi;
+  }
+  if (permuted) {
+    for (Index p = 0; p < n_; ++p) b[perm_[p]] = static_cast<double>(y[p]);
+  } else {
+    for (Index i = 0; i < n_; ++i) b[i] = static_cast<double>(y[i]);
+  }
+}
+
 }  // namespace ddmgnn::la

@@ -25,6 +25,19 @@ class SkylineCholesky {
   std::vector<double> solve(std::span<const double> b) const;
   void solve_inplace(std::span<double> b_to_x) const;
 
+  /// Materialize a float copy of the factor for solve_inplace_fp32. The fp64
+  /// factor stays authoritative; the fp32 sweeps halve the factor traffic of
+  /// a triangular solve, which is what a mixed-precision preconditioner apply
+  /// (SolveOptions::precond_fp32) actually spends its time on. Idempotent.
+  void enable_fp32();
+  bool fp32_enabled() const { return !values_f32_.empty(); }
+
+  /// Forward/backward sweeps over the fp32 factor copy (requires
+  /// enable_fp32). Accepts and returns fp64 with ~1e-7 relative accuracy —
+  /// callers must sit inside a flexible outer iteration or behind a
+  /// true-residual guard.
+  void solve_inplace_fp32(std::span<double> b_to_x) const;
+
   Index size() const { return n_; }
   /// Stored envelope entries (memory/diagnostics).
   std::size_t envelope_size() const { return values_.size(); }
@@ -36,6 +49,7 @@ class SkylineCholesky {
   std::vector<Index> first_;     // first stored column of each row
   std::vector<std::size_t> offset_;  // start of row i's envelope in values_
   std::vector<double> values_;       // packed rows [first[i], i]
+  std::vector<float> values_f32_;    // optional fp32 factor copy
 };
 
 }  // namespace ddmgnn::la

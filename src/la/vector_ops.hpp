@@ -80,6 +80,19 @@ inline void copy(std::span<const double> src, std::span<double> dst) {
   parallel_for(n, [&](long i) { dst[i] = src[i]; }, kParallelThreshold);
 }
 
+/// dst = double(float(src)) — demote every entry through fp32. This is the
+/// mixed-precision seam of the Krylov drivers: the residual handed to the
+/// preconditioner and the correction it returns are rounded to fp32 while
+/// the outer recurrences stay fp64. src and dst may alias.
+inline void round_to_float(std::span<const double> src, std::span<double> dst) {
+  DDMGNN_CHECK(src.size() == dst.size(), "round_to_float: size mismatch");
+  const long n = static_cast<long>(src.size());
+  parallel_for(
+      n,
+      [&](long i) { dst[i] = static_cast<double>(static_cast<float>(src[i])); },
+      kParallelThreshold);
+}
+
 /// ||x - y||_2
 inline double dist2(std::span<const double> x, std::span<const double> y) {
   DDMGNN_CHECK(x.size() == y.size(), "dist2: size mismatch");

@@ -16,12 +16,16 @@ constexpr long kRowParallelGrain = 4096;
 /// Rows handed to one worker task.
 constexpr long kRowChunk = 1024;
 
+}  // namespace
+
 /// One block of rows through the outer-product kernel: accumulators live in
 /// the output rows (unit stride, simd-friendly), weights are pre-transposed
 /// to [in × out] so each input scalar broadcasts against a contiguous weight
-/// row. 4-row register blocking amortizes the weight-row loads.
-void gemm_rows(const float* wt, int in, int out, const float* b, bool relu,
-               const Tensor& x, Tensor& y, int row0, int row1) {
+/// row. 4-row register blocking amortizes the weight-row loads; per-row
+/// results do not depend on where the block boundaries fall.
+void fused_gemm_rows(const float* wt, int in, int out, const float* b,
+                     bool relu, const Tensor& x, Tensor& y, int row0,
+                     int row1) {
   int i = row0;
   for (; i + 4 <= row1; i += 4) {
     const float* x0 = x.row(i);
@@ -87,8 +91,6 @@ void gemm_rows(const float* wt, int in, int out, const float* b, bool relu,
   }
 }
 
-}  // namespace
-
 void fused_gemm(const float* w, int ldw, int col0, int out, const float* b,
                 bool relu, const Tensor& x, Tensor& y) {
   const int in = x.cols;
@@ -107,7 +109,7 @@ void fused_gemm(const float* w, int ldw, int col0, int out, const float* b,
   const float* wtp = wt.data();
   const long rows = x.rows;
   if (rows < kRowParallelGrain) {
-    gemm_rows(wtp, in, out, b, relu, x, y, 0, static_cast<int>(rows));
+    fused_gemm_rows(wtp, in, out, b, relu, x, y, 0, static_cast<int>(rows));
     return;
   }
   const long nchunks = (rows + kRowChunk - 1) / kRowChunk;
@@ -116,8 +118,8 @@ void fused_gemm(const float* w, int ldw, int col0, int out, const float* b,
       [&](long c) {
         const long r0 = c * kRowChunk;
         const long r1 = std::min(rows, r0 + kRowChunk);
-        gemm_rows(wtp, in, out, b, relu, x, y, static_cast<int>(r0),
-                  static_cast<int>(r1));
+        fused_gemm_rows(wtp, in, out, b, relu, x, y, static_cast<int>(r0),
+                        static_cast<int>(r1));
       },
       /*grain=*/1);
 }

@@ -49,6 +49,11 @@ std::unique_ptr<SubdomainSolver> make_gnn_local(const PrecondContext& ctx,
   core::GnnSubdomainSolver::Options opts;
   opts.refinement_steps = ctx.gnn_refinement_steps;
   opts.normalize_input = ctx.gnn_normalize;
+  opts.adaptive_refinement = ctx.gnn_adaptive_refinement;
+  opts.contraction_target = ctx.gnn_contraction_target;
+  opts.max_refinement_steps = ctx.gnn_max_refinement_steps;
+  opts.cost_aware_fallback = ctx.gnn_cost_aware_fallback;
+  opts.fp32_fallback = ctx.gnn_fp32_fallback;
   return std::make_unique<core::GnnSubdomainSolver>(
       *ctx.model,
       std::vector<mesh::Point2>(ctx.coords.begin(), ctx.coords.end()),

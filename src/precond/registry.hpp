@@ -62,6 +62,17 @@ struct PrecondContext {
   /// GNN local-solver knobs (see GnnSubdomainSolver::Options).
   int gnn_refinement_steps = 0;
   bool gnn_normalize = true;
+  /// Refine-until-contractive setup with exact-Cholesky fallback for
+  /// non-contractive subdomains (the served-configuration convergence fix).
+  bool gnn_adaptive_refinement = false;
+  double gnn_contraction_target = 0.25;
+  int gnn_max_refinement_steps = 3;
+  /// With adaptive refinement, also fall back per subdomain when the flop
+  /// model predicts the GNN apply overwhelmingly costlier than exact sweeps.
+  bool gnn_cost_aware_fallback = true;
+  /// fp32 sweeps for the Cholesky fallbacks (mixed-precision apply; pair
+  /// with SolveOptions::precond_fp32 on the outer Krylov).
+  bool gnn_fp32_fallback = false;
 };
 
 /// Static facts about a registered preconditioner, consulted *before*

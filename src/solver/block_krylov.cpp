@@ -118,14 +118,30 @@ struct ColumnState {
 /// split into the active columns' precond_seconds shares (which therefore sum
 /// back to it exactly) and, when tracing, becomes a "precond.apply_many" span
 /// of the identical duration — the block-path counterpart of PrecondScope.
+/// With opts.precond_fp32 the residual block is demoted through fp32 into
+/// `r32` before the apply and the corrections are demoted in place after it
+/// (the mixed-precision seam); the rounding cost counts as preconditioner
+/// time, matching the scalar drivers.
 void timed_apply_many(const precond::Preconditioner& m, const MultiVector& r,
                       MultiVector& z, precond::ApplyWorkspace* ws,
-                      ColumnState& cols) {
+                      ColumnState& cols, const SolveOptions& opts,
+                      MultiVector& r32) {
   const bool tracing = obs::trace_enabled();
   const std::int64_t t0 =
       tracing ? obs::TraceRecorder::instance().now_ns() : 0;
   Timer pt;
-  m.apply_many(r, z, ws);
+  if (opts.precond_fp32) {
+    r32.resize(r.rows(), r.cols());
+    for (Index j = 0; j < r.cols(); ++j) {
+      la::round_to_float(r.col(j), r32.col(j));
+    }
+    m.apply_many(r32, z, ws);
+    for (Index j = 0; j < z.cols(); ++j) {
+      la::round_to_float(z.col(j), z.col(j));
+    }
+  } else {
+    m.apply_many(r, z, ws);
+  }
   const double s = pt.seconds();
   if (tracing) {
     obs::emit_span("precond.apply_many", t0,
@@ -171,7 +187,8 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
   MultiVector r(n, b.cols());
   initial_residual(a, b, x, r, cols);
   MultiVector z(n, b.cols());
-  timed_apply_many(m, r, z, ws.get(), cols);
+  MultiVector r32;  // fp32-rounded residual block (opts.precond_fp32)
+  timed_apply_many(m, r, z, ws.get(), cols, opts, r32);
   MultiVector p(n, b.cols());
   copy_columns(z, p);
   std::vector<double> rho(b.cols());
@@ -209,7 +226,7 @@ std::vector<SolveResult> block_pcg_impl(const CsrMatrix& a,
     if (cols.active() == 0) break;
     const Index nw = cols.active();
     z.resize(n, nw);
-    timed_apply_many(m, r, z, ws.get(), cols);
+    timed_apply_many(m, r, z, ws.get(), cols, opts, r32);
     rho_next.resize(nw);
     beta.resize(nw);
     dot_columns(r, z, rho_next);
@@ -268,12 +285,17 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
       std::min(std::max<Index>(256, 16 * b.cols()), mem_cap);
 
   MultiVector z;
+  MultiVector r32;  // fp32-rounded residual block (opts.precond_fp32)
   // Stagnation safeguard: if no active column improves its best residual by
   // the slack factor over a full window, stop and let the per-column
-  // fallback finish the stragglers.
+  // fallback finish the stragglers. Columns active at such a structural
+  // no-progress exit are remembered so the merged per-column failure can
+  // report "stagnated" even when the history is off (serving runs with
+  // track_history=false) and the fallback then exhausts the leftover budget.
   constexpr int kStallWindow = 25;
   constexpr double kStallSlack = 0.999;
   std::vector<double> best(cols.rnorm.begin(), cols.rnorm.end());
+  std::vector<char> block_stagnated(b.cols(), 0);
   int stall = 0;
 
   int it = 0;
@@ -281,7 +303,7 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
     obs::Span iter_span("block-fpcg.iter");
     const Index na = cols.active();
     z.resize(n, na);
-    timed_apply_many(m, r, z, ws.get(), cols);
+    timed_apply_many(m, r, z, ws.get(), cols, opts, r32);
 
     // Build the new direction block: conjugate the preconditioned residuals
     // against every stored block (coef = Qᵀ d, valid because Pᵀ A P = I per
@@ -314,7 +336,11 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
       la::scale(inv, qd);
       ++kept;
     }
-    if (kept == 0) break;  // no usable directions — fall back below
+    if (kept == 0) {
+      // No usable directions — progress stopped; fall back below.
+      for (const Index j : cols.act) block_stagnated[j] = 1;
+      break;
+    }
     if (kept < na) {
       std::vector<Index> head(kept);
       for (Index k = 0; k < kept; ++k) head[k] = k;
@@ -367,7 +393,10 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
       for (std::size_t c = 0; c < keep.size(); ++c) best[c] = best[keep[c]];
       best.resize(keep.size());
     }
-    if (stall >= kStallWindow) break;
+    if (stall >= kStallWindow) {
+      for (const Index j : cols.act) block_stagnated[j] = 1;
+      break;
+    }
   }
   cols.finalize_remaining(it, timer);
 
@@ -410,7 +439,16 @@ std::vector<SolveResult> block_flexible_pcg(const CsrMatrix& a,
       scalar.history.insert(scalar.history.begin(), res.history.begin(),
                             res.history.end());
     }
-    if (!scalar.converged) scalar.failure = classify_failure(scalar, opts);
+    if (!scalar.converged) {
+      scalar.failure = classify_failure(scalar, opts);
+      // The block phase watched this column make no progress for a full
+      // stall window before handing it over; "ran out of iterations" would
+      // misname that. Keep any sharper diagnosis (NaN, divergence).
+      if (block_stagnated[j] &&
+          scalar.failure == obs::FailureReason::kMaxIterations) {
+        scalar.failure = obs::FailureReason::kStagnated;
+      }
+    }
     cols.results[j] = std::move(scalar);
   }
   return std::move(cols.results);

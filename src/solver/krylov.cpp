@@ -161,13 +161,22 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   // steady state and concurrent solves on one shared M never share scratch.
   const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n), p(n), q(n);
+  std::vector<double> r32;  // fp32-rounded residual (opts.precond_fp32)
+  if (opts.precond_fp32) r32.resize(n);
+  auto apply_m = [&](std::span<const double> in, std::span<double> out) {
+    PrecondScope t(precond_time, series);
+    if (opts.precond_fp32) {
+      la::round_to_float(in, r32);
+      m.apply(r32, out, ws.get());
+      la::round_to_float(out, out);
+    } else {
+      m.apply(in, out, ws.get());
+    }
+  };
   // r0 = b - A x0, z0 = M⁻¹ r0, p0 = z0   (Algorithm 1)
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-  {
-    PrecondScope t(precond_time, series);
-    m.apply(r, z, ws.get());
-  }
+  apply_m(r, z);
   std::copy(z.begin(), z.end(), p.begin());
   const double nb = norm2(b);
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
@@ -187,10 +196,7 @@ SolveResult pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     iter_span.arg("iter", it);
     iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (rnorm <= stop) break;
-    {
-      PrecondScope t(precond_time, series);
-      m.apply(r, z, ws.get());
-    }
+    apply_m(r, z);
     const double rho_next = dot(r, z);
     const double beta = rho_next / rho;
     xpay(z, beta, p);
@@ -217,12 +223,21 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
   const std::size_t n = b.size();
   const auto ws = m.make_workspace();
   std::vector<double> r(n), z(n), z_prev(n), dz(n), p(n), q(n);
+  std::vector<double> r32;  // fp32-rounded residual (opts.precond_fp32)
+  if (opts.precond_fp32) r32.resize(n);
+  auto apply_m = [&](std::span<const double> in, std::span<double> out) {
+    PrecondScope t(precond_time, series);
+    if (opts.precond_fp32) {
+      la::round_to_float(in, r32);
+      m.apply(r32, out, ws.get());
+      la::round_to_float(out, out);
+    } else {
+      m.apply(in, out, ws.get());
+    }
+  };
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-  {
-    PrecondScope t(precond_time, series);
-    m.apply(r, z, ws.get());
-  }
+  apply_m(r, z);
   std::copy(z.begin(), z.end(), p.begin());
   const double nb = norm2(b);
   const double stop = opts.rel_tol * (nb > 0.0 ? nb : 1.0);
@@ -237,10 +252,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     if (pq <= 0.0 || rho == 0.0) {
       // Direction lost positivity (can happen with a nonlinear
       // preconditioner): restart from the preconditioned residual.
-      {
-        PrecondScope t(precond_time, series);
-        m.apply(r, z, ws.get());
-      }
+      apply_m(r, z);
       std::copy(z.begin(), z.end(), p.begin());
       rho = dot(r, z);
       a.multiply(p, q);
@@ -257,10 +269,7 @@ SolveResult flexible_pcg(const CsrMatrix& a, const precond::Preconditioner& m,
     iter_span.arg("iter", it);
     iter_span.arg("rel_residual", rnorm / (nb > 0 ? nb : 1.0));
     if (rnorm <= stop) break;
-    {
-      PrecondScope t(precond_time, series);
-      m.apply(r, z, ws.get());
-    }
+    apply_m(r, z);
     // Polak–Ribière: β = <r, z - z_prev> / rho.
     for (std::size_t i = 0; i < n; ++i) dz[i] = z[i] - z_prev[i];
     const double beta = dot(r, dz) / rho;

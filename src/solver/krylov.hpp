@@ -45,6 +45,13 @@ struct SolveOptions {
   bool track_history = true;
   /// Restart length when the method is KrylovMethod::kGmres.
   int gmres_restart = 50;
+  /// Mixed-precision preconditioning: round the residual handed to M⁻¹ and
+  /// the correction it returns through fp32 while every outer recurrence
+  /// (x, r, dots, norms) stays fp64. Honored by pcg / flexible_pcg and both
+  /// block drivers. The rounding makes M effectively nonlinear, so pair it
+  /// with kFpcg (SolverSession's default-method selection does this); the
+  /// block path's per-column true-residual verification guards it further.
+  bool precond_fp32 = false;
 };
 
 struct SolveResult {

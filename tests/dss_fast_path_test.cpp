@@ -233,7 +233,10 @@ TEST(FastForward, ProfileAccumulatesIntoAllPhases) {
   cfg.iterations = 4;
   cfg.latent = 8;
   cfg.hidden = 8;
-  const gnn::DssModel model(cfg, 5);
+  // The three-step path fills all five phases; the fused layer2+aggregate
+  // kernel folds gather + layer-2 GEMM into the aggregate slot.
+  cfg.fused_aggregate = false;
+  gnn::DssModel model(cfg, 5);
   gnn::DssWorkspace ws;
   std::vector<float> out;
   gnn::DssPhaseProfile prof;
@@ -244,6 +247,12 @@ TEST(FastForward, ProfileAccumulatesIntoAllPhases) {
   EXPECT_GT(prof.update, 0.0);
   EXPECT_GT(prof.decode, 0.0);
   EXPECT_GT(prof.total(), 0.0);
+
+  model.set_fused_aggregate(true);
+  gnn::DssPhaseProfile fused;
+  for (int r = 0; r < 3; ++r) model.forward(s, nullptr, ws, out, &fused);
+  EXPECT_GT(fused.aggregate, 0.0);
+  EXPECT_EQ(fused.gather, 0.0);
 }
 
 TEST(FastForward, SolverIterationCountsMatchReferenceForAllGnnEntries) {
