@@ -4,6 +4,7 @@
 // selects the sweep sizes (see DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -17,11 +18,13 @@
 #include "common/error.hpp"
 #include "common/options.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "core/hybrid_solver.hpp"
 #include "core/solver_session.hpp"
 #include "fem/poisson.hpp"
 #include "la/mm_io.hpp"
 #include "mesh/generator.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddmgnn::bench {
 
@@ -46,6 +49,59 @@ inline std::string pm(const Stats& s, int width = 0) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%*.0f±%-3.0f", width, s.mean, s.stddev);
   return buf;
+}
+
+/// The latency quantiles every serving-style bench reports, in seconds.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Exact sample percentiles (nearest-rank on a sorted copy). Use when the
+/// bench holds every individual latency; prefer the Histogram overload when
+/// samples were only accumulated into buckets.
+inline Percentiles percentiles_of(std::vector<double> xs) {
+  Percentiles p;
+  if (xs.empty()) return p;
+  std::sort(xs.begin(), xs.end());
+  const auto at = [&](double q) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(xs.size())));
+    return xs[std::min(xs.size() - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  p.p50 = at(0.50);
+  p.p95 = at(0.95);
+  p.p99 = at(0.99);
+  return p;
+}
+
+/// Bucket-interpolated percentiles from an obs histogram (the concurrent
+/// accumulation path: clients observe into the histogram, the bench reads
+/// quantiles after joining).
+inline Percentiles percentiles_of(const obs::Histogram& h) {
+  return {h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)};
+}
+
+/// Seeded Poisson-process arrival offsets: `count` times (seconds from the
+/// trace start, strictly increasing) with exponential inter-arrivals at
+/// `rate_per_sec`. The open-loop load generator for service benches —
+/// arrivals are scheduled up front, so a slow server cannot slow the
+/// offered load (no coordinated omission).
+inline std::vector<double> poisson_arrivals(double rate_per_sec, int count,
+                                            std::uint64_t seed) {
+  DDMGNN_CHECK(rate_per_sec > 0.0, "poisson_arrivals: rate must be > 0");
+  Rng rng(seed);
+  std::vector<double> at;
+  at.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    double u = rng.uniform();
+    while (u <= 1e-300) u = rng.uniform();
+    t += -std::log(u) / rate_per_sec;
+    at.push_back(t);
+  }
+  return at;
 }
 
 struct Problem {

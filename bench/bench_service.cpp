@@ -1,0 +1,316 @@
+// Streaming-service latency/throughput under offered load: replay a seeded
+// Poisson arrival trace of single-RHS requests against core::SolveService
+// and compare dynamic batching (windows close at max_batch columns or the
+// window wait) with a solve-per-request baseline (the same service pinned to
+// max_batch=1), at a sweep of offered loads.
+//
+// The load generator is open loop: every arrival time is drawn up front
+// (bench::poisson_arrivals) and the injector sleeps until each scheduled
+// instant before submitting, so a slow server cannot throttle the offered
+// load. Latency is measured scheduled-arrival -> future completion
+// (Reply::completed_at), which charges queueing delay to the server instead
+// of hiding it — no coordinated omission.
+//
+// Offered load is expressed in multiples of the measured single-solve
+// service rate (1/t1, calibrated per preconditioner on a warm session):
+// 0.5x is under-subscribed, >=2x saturates a solve-per-request server, which
+// is where dynamic batching pays — queued arrivals merge into block windows
+// that cost ONE fused preconditioner apply per block iteration however many
+// columns ride it.
+//
+//   ./bench_service [--threads N] [--requests N] [--loads "0.5 2 4"]
+//                   [--precond ddm-gnn|ddm-lu] [--max-batch B]
+//                   [--workers W] [--max-wait-us U] [--require-converged]
+//
+// JSON: artifacts/bench_service.json — one record per (preconditioner,
+// load, mode) with p50/p95/p99 latency, solves/sec, mean/max window size,
+// and preconditioner applies per solve (the amortization evidence on boxes
+// where raw throughput is compute-bound, e.g. 1-core CI), plus a speedup
+// record per (preconditioner, load). --require-converged exits non-zero if
+// any replayed solve failed to converge.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/model_zoo.hpp"
+#include "core/session_cache.hpp"
+#include "core/solve_service.hpp"
+#include "gnn/dss_model.hpp"
+
+namespace {
+
+using namespace ddmgnn;
+using Clock = std::chrono::steady_clock;
+
+la::Index nodes_for_scale() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: return 800;
+    case BenchScale::kPaper: return 8000;
+    default: return 2000;
+  }
+}
+
+int requests_for_scale() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke: return 12;
+    case BenchScale::kPaper: return 240;
+    default: return 48;
+  }
+}
+
+struct ReplayResult {
+  double seconds = 0.0;  // trace start -> last completion
+  bench::Percentiles latency;
+  bool all_converged = true;
+  long iterations = 0;
+  core::SolveService::Stats stats;
+  double solves_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(stats.completed) / seconds
+                         : 0.0;
+  }
+  double mean_batch() const {
+    return stats.windows > 0
+               ? static_cast<double>(stats.columns) / stats.windows
+               : 0.0;
+  }
+  double applies_per_solve() const {
+    return stats.completed > 0
+               ? static_cast<double>(stats.precond_applies) / stats.completed
+               : 0.0;
+  }
+};
+
+/// Replay `arrivals` (seconds from trace start) against a fresh service on
+/// the cached session for (p, cfg). One injector thread submits on
+/// schedule; futures are harvested after injection ends.
+ReplayResult replay(core::SessionCache& cache, const bench::Problem& p,
+                    const core::HybridConfig& cfg,
+                    const core::ServiceConfig& svc_cfg,
+                    const std::vector<double>& arrivals,
+                    std::uint64_t rhs_seed) {
+  const std::size_t n = p.prob.b.size();
+  core::SolveService svc(cache, svc_cfg);
+  const auto op = svc.register_operator(p.m, p.prob, cfg);
+
+  Rng rng(rhs_seed);
+  std::vector<std::vector<double>> rhs(arrivals.size());
+  for (auto& b : rhs) {
+    b.resize(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  }
+
+  std::vector<std::future<core::SolveService::Reply>> futures;
+  futures.reserve(arrivals.size());
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivals[i]));
+    std::this_thread::sleep_until(due);
+    auto fut = svc.submit(op, std::move(rhs[i]));
+    futures.push_back(std::move(*fut));  // capacity >= trace: never rejected
+  }
+
+  ReplayResult r;
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  Clock::time_point last_done = start;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    core::SolveService::Reply reply = futures[i].get();
+    const auto scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivals[i]));
+    latencies.push_back(
+        std::chrono::duration<double>(reply.completed_at - scheduled)
+            .count());
+    last_done = std::max(last_done, reply.completed_at);
+    r.all_converged = r.all_converged && reply.result.converged;
+    r.iterations += reply.result.iterations;
+  }
+  r.seconds = std::chrono::duration<double>(last_done - start).count();
+  r.latency = bench::percentiles_of(std::move(latencies));
+  r.stats = svc.stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Service workers are the parallel axis; the library's inner OpenMP
+  // parallelism defaults to 1 worker as in bench_serving. --threads restores.
+  if (bench::find_flag(argc, argv, "--threads") == nullptr) {
+    set_num_threads(1);
+  }
+  const int threads = bench::apply_thread_flag(argc, argv);
+  const int requests = bench::find_flag(argc, argv, "--requests")
+                           ? std::atoi(bench::find_flag(argc, argv,
+                                                        "--requests"))
+                           : requests_for_scale();
+  const bool require_converged =
+      bench::has_flag(argc, argv, "--require-converged");
+  std::vector<double> load_multipliers{0.5, 2.0, 4.0};
+  if (const char* spec = bench::find_flag(argc, argv, "--loads")) {
+    load_multipliers.clear();
+    std::istringstream in(spec);
+    for (double v; in >> v;) load_multipliers.push_back(v);
+  }
+  const int max_batch = bench::find_flag(argc, argv, "--max-batch")
+                            ? std::atoi(bench::find_flag(argc, argv,
+                                                         "--max-batch"))
+                            : 16;
+  const int workers = bench::find_flag(argc, argv, "--workers")
+                          ? std::atoi(bench::find_flag(argc, argv,
+                                                       "--workers"))
+                          : 2;
+  const char* only_precond = bench::find_flag(argc, argv, "--precond");
+
+  bench::print_header(
+      "Streaming SolveService: latency/throughput vs offered load");
+  const la::Index nodes = nodes_for_scale();
+  bench::Problem p = bench::make_problem(nodes, /*seed=*/7);
+  gnn::DssModel model = core::get_or_train_model(core::default_spec(10, 10));
+
+  std::printf("N=%d  inner threads=%d  workers=%d  max_batch=%d  "
+              "requests/load=%d\n\n",
+              p.prob.A.rows(), threads, workers, max_batch, requests);
+
+  std::vector<bench::JsonRecord> records;
+  records.push_back(bench::JsonRecord()
+                        .add("record", std::string("config"))
+                        .add("nodes", p.prob.A.rows())
+                        .add("requests_per_load", requests)
+                        .add("workers", workers)
+                        .add("max_batch", max_batch));
+
+  bool any_unconverged = false;
+  for (const char* precond : {"ddm-lu", "ddm-gnn"}) {
+    if (only_precond != nullptr && std::string(only_precond) != precond) {
+      continue;
+    }
+    const bool is_gnn = std::string(precond) == "ddm-gnn";
+    core::HybridConfig cfg;
+    cfg.preconditioner = precond;
+    cfg.subdomain_target_nodes = 350;
+    cfg.rel_tol = 1e-6;
+    cfg.max_iterations = 500;
+    cfg.track_history = false;
+    if (is_gnn) {
+      cfg.model = &model;
+      cfg.gnn_adaptive_refinement = true;
+      cfg.precond_fp32 = true;
+    }
+
+    core::SessionCache cache(/*byte_budget=*/1u << 30);
+    // Calibrate the single-solve service rate on a warm session: offered
+    // loads are multiples of 1/t1, so "2x" saturates a solve-per-request
+    // server on any machine.
+    auto session = cache.get_or_setup(p.m, p.prob, cfg);
+    const std::size_t n = p.prob.b.size();
+    double t1 = 0.0;
+    {
+      Rng rng(99);
+      std::vector<double> b(n);
+      for (double& v : b) v = rng.uniform(-1.0, 1.0);
+      std::vector<double> x(n, 0.0);
+      (void)session->solve(b, x);  // warm run (untimed)
+      Timer timer;
+      std::fill(x.begin(), x.end(), 0.0);
+      (void)session->solve(b, x);
+      t1 = timer.seconds();
+    }
+    const double base_rate = 1.0 / t1;
+    // Window wait scaled to the solve cost: long enough to merge arrivals
+    // that land while a solve is in flight, short enough not to dominate
+    // latency when the system is idle.
+    const auto max_wait = std::chrono::microseconds(
+        std::clamp(static_cast<long long>(t1 * 0.5e6), 200ll, 20000ll));
+    std::printf("%-10s t1=%.3f ms  base rate=%.1f/s  max_wait=%lld us\n",
+                precond, t1 * 1e3, base_rate,
+                static_cast<long long>(max_wait.count()));
+    std::printf("%-10s %6s %9s %12s %9s %9s %9s %7s %9s\n", "", "load",
+                "mode", "solves/sec", "p50(ms)", "p95(ms)", "p99(ms)",
+                "batch", "apply/slv");
+
+    for (const double mult : load_multipliers) {
+      const double rate = mult * base_rate;
+      const std::vector<double> arrivals =
+          bench::poisson_arrivals(rate, requests, /*seed=*/42);
+
+      core::ServiceConfig batched_cfg;
+      batched_cfg.num_workers = workers;
+      batched_cfg.max_batch = max_batch;
+      batched_cfg.max_wait = max_wait;
+      batched_cfg.queue_capacity = static_cast<std::size_t>(requests);
+      core::ServiceConfig baseline_cfg = batched_cfg;
+      baseline_cfg.max_batch = 1;
+      baseline_cfg.max_wait = std::chrono::microseconds(0);
+
+      double batched_rate = 0.0;
+      double baseline_rate = 0.0;
+      for (const bool batched : {false, true}) {
+        const ReplayResult r =
+            replay(cache, p, cfg, batched ? batched_cfg : baseline_cfg,
+                   arrivals, /*rhs_seed=*/7000 + (batched ? 1 : 0));
+        any_unconverged = any_unconverged || !r.all_converged;
+        (batched ? batched_rate : baseline_rate) = r.solves_per_sec();
+        std::printf(
+            "%-10s %5.1fx %9s %12.2f %9.2f %9.2f %9.2f %7.2f %9.1f%s\n", "",
+            mult, batched ? "batched" : "baseline", r.solves_per_sec(),
+            r.latency.p50 * 1e3, r.latency.p95 * 1e3, r.latency.p99 * 1e3,
+            r.mean_batch(), r.applies_per_solve(),
+            r.all_converged ? "" : "  [not all converged]");
+        records.push_back(
+            bench::JsonRecord()
+                .add("record", std::string("service"))
+                .add("preconditioner", std::string(precond))
+                .add("mode", std::string(batched ? "batched" : "baseline"))
+                .add("load_multiplier", mult)
+                .add("offered_rate_per_sec", rate)
+                .add("requests", requests)
+                .add("seconds", r.seconds)
+                .add("solves_per_sec", r.solves_per_sec())
+                .add("latency_p50_seconds", r.latency.p50)
+                .add("latency_p95_seconds", r.latency.p95)
+                .add("latency_p99_seconds", r.latency.p99)
+                .add("windows", static_cast<int>(r.stats.windows))
+                .add("mean_batch", r.mean_batch())
+                .add("max_window", static_cast<int>(r.stats.max_window))
+                .add("precond_applies",
+                     static_cast<int>(r.stats.precond_applies))
+                .add("applies_per_solve", r.applies_per_solve())
+                .add("total_iterations", static_cast<int>(r.iterations))
+                .add("all_converged", r.all_converged));
+      }
+      const double speedup =
+          baseline_rate > 0.0 ? batched_rate / baseline_rate : 0.0;
+      std::printf("%-10s %5.1fx %9s %11.2fx\n", "", mult, "speedup",
+                  speedup);
+      records.push_back(bench::JsonRecord()
+                            .add("record", std::string("speedup"))
+                            .add("preconditioner", std::string(precond))
+                            .add("load_multiplier", mult)
+                            .add("batched_over_baseline", speedup));
+    }
+    std::printf("\n");
+  }
+
+  std::filesystem::create_directories(artifact_dir());
+  const std::string path = artifact_dir() + "/bench_service.json";
+  bench::write_json(path, records);
+  std::printf("JSON: %s\n", path.c_str());
+  if (require_converged && any_unconverged) {
+    std::printf("FAIL: --require-converged and at least one replayed solve "
+                "did not converge\n");
+    return 1;
+  }
+  return 0;
+}

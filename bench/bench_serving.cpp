@@ -256,12 +256,10 @@ int main(int argc, char** argv) {
       any_unconverged = any_unconverged || !r.all_converged;
       if (base == 0.0) base = r.solves_per_sec();
       const double speedup = base > 0.0 ? r.solves_per_sec() / base : 0.0;
-      const double p50 = latency.quantile(0.50);
-      const double p95 = latency.quantile(0.95);
-      const double p99 = latency.quantile(0.99);
+      const bench::Percentiles q = bench::percentiles_of(latency);
       std::printf("%-10s %8d %12.2f %12.3f %9.2fx %9.2f %9.2f %9.2f%s\n", "",
                   r.clients, r.solves_per_sec(), r.seconds, speedup,
-                  p50 * 1e3, p95 * 1e3, p99 * 1e3,
+                  q.p50 * 1e3, q.p95 * 1e3, q.p99 * 1e3,
                   r.all_converged ? "" : "  [not all converged]");
       records.push_back(bench::JsonRecord()
                             .add("record", std::string("serving"))
@@ -272,9 +270,9 @@ int main(int argc, char** argv) {
                             .add("seconds", r.seconds)
                             .add("solves_per_sec", r.solves_per_sec())
                             .add("speedup_vs_1", speedup)
-                            .add("latency_p50_seconds", p50)
-                            .add("latency_p95_seconds", p95)
-                            .add("latency_p99_seconds", p99)
+                            .add("latency_p50_seconds", q.p50)
+                            .add("latency_p95_seconds", q.p95)
+                            .add("latency_p99_seconds", q.p99)
                             .add("all_converged", r.all_converged)
                             .add("client_iterations", r.client_iterations));
     }

@@ -1,5 +1,6 @@
 #include "core/solver_session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -168,6 +169,12 @@ void SolverSession::setup(const la::CsrMatrix& A, const HybridConfig& cfg,
 
 solver::SolveResult SolverSession::solve(std::span<const double> b,
                                          std::span<double> x) const {
+  return solve(b, x, /*x0=*/{});
+}
+
+solver::SolveResult SolverSession::solve(std::span<const double> b,
+                                         std::span<double> x,
+                                         std::span<const double> x0) const {
   DDMGNN_CHECK(ready(), "SolverSession::solve before setup()");
   // Root span: every solve's full wall time is covered by this one event,
   // with the Krylov iterations and preconditioner phases nested inside.
@@ -178,6 +185,7 @@ solver::SolveResult SolverSession::solve(std::span<const double> b,
   opts.track_history = cfg_.track_history;
   opts.gmres_restart = cfg_.gmres_restart;
   opts.precond_fp32 = cfg_.precond_fp32;
+  opts.x0 = x0;
   solver::SolveResult res =
       solver::run_krylov(method_, *a_, *m_inv_, b, x, opts);
   solve_span.arg("iterations", res.iterations);
@@ -188,7 +196,22 @@ solver::SolveResult SolverSession::solve(std::span<const double> b,
 std::vector<solver::SolveResult> SolverSession::solve_many(
     std::span<const std::vector<double>> rhs,
     std::vector<std::vector<double>>& xs) const {
+  return solve_many(rhs, xs, /*x0s=*/{});
+}
+
+std::vector<solver::SolveResult> SolverSession::solve_many(
+    std::span<const std::vector<double>> rhs,
+    std::vector<std::vector<double>>& xs,
+    std::span<const std::vector<double>> x0s) const {
   DDMGNN_CHECK(ready(), "SolverSession::solve_many before setup()");
+  DDMGNN_CHECK(x0s.empty() || x0s.size() == rhs.size(),
+               "solve_many: x0s must be empty or give one (possibly empty) "
+               "guess per right-hand side");
+  const auto n = static_cast<std::size_t>(a_->rows());
+  for (const auto& g : x0s) {
+    DDMGNN_CHECK(g.empty() || g.size() == n,
+                 "solve_many: x0 size does not match the operator");
+  }
   obs::Span solve_span("session.solve_many");
   solve_span.arg("rhs", static_cast<double>(rhs.size()));
   xs.resize(rhs.size());
@@ -197,7 +220,6 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
       method_ == solver::KrylovMethod::kPcg ||
       method_ == solver::KrylovMethod::kFpcg;
   if (cfg_.block_multi_rhs && block_capable && rhs.size() > 1) {
-    const auto n = static_cast<std::size_t>(a_->rows());
     for (const auto& b : rhs) {
       DDMGNN_CHECK(b.size() == n, "solve_many: rhs size mismatch");
     }
@@ -209,6 +231,13 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
     opts.precond_fp32 = cfg_.precond_fp32;
     const la::MultiVector b = la::MultiVector::from_columns(rhs);
     la::MultiVector x(b.rows(), b.cols(), 0.0);
+    // The block drivers treat the iterate block as the initial guess
+    // (r₀ = B − A·X₀ per column), so seeding is just filling the columns.
+    for (std::size_t i = 0; i < x0s.size(); ++i) {
+      if (x0s[i].empty()) continue;
+      std::copy(x0s[i].begin(), x0s[i].end(),
+                x.col(static_cast<la::Index>(i)).begin());
+    }
     auto results =
         solver::run_block_krylov(method_, *a_, *m_inv_, b, x, opts);
     DDMGNN_CHECK(results.has_value(), "solve_many: block dispatch failed");
@@ -222,7 +251,8 @@ std::vector<solver::SolveResult> SolverSession::solve_many(
   results.reserve(rhs.size());
   for (std::size_t i = 0; i < rhs.size(); ++i) {
     xs[i].assign(rhs[i].size(), 0.0);
-    results.push_back(solve(rhs[i], xs[i]));
+    const bool seeded = i < x0s.size() && !x0s[i].empty();
+    results.push_back(solve(rhs[i], xs[i], seeded ? x0s[i] : std::span<const double>{}));
   }
   return results;
 }

@@ -162,6 +162,14 @@ class SolverSession {
   solver::SolveResult solve(std::span<const double> b,
                             std::span<double> x) const;
 
+  /// Warm-started form: `x0` (size n) seeds the iterate — `x` is output
+  /// only. Repeat solves against slowly-drifting right-hand sides on one
+  /// operator (time stepping, the streaming SolveService re-serving a
+  /// client) converge in a fraction of the zero-start iterations; a solve
+  /// seeded with an already-converged solution finishes immediately.
+  solver::SolveResult solve(std::span<const double> b, std::span<double> x,
+                            std::span<const double> x0) const;
+
   /// Solve the same operator against each right-hand side in `rhs`;
   /// `xs` is resized to match, every solve starting from a zero guess.
   ///
@@ -175,7 +183,20 @@ class SolverSession {
       std::span<const std::vector<double>> rhs,
       std::vector<std::vector<double>>& xs) const;
 
+  /// Warm-started solve_many: `x0s` is either empty (zero start for every
+  /// column, identical to the overload above) or one guess per right-hand
+  /// side, where an empty inner vector means zero start for that column.
+  /// Both the block engine and the sequential fallback honor the seeds (the
+  /// block drivers treat the iterate block as the initial guess).
+  std::vector<solver::SolveResult> solve_many(
+      std::span<const std::vector<double>> rhs,
+      std::vector<std::vector<double>>& xs,
+      std::span<const std::vector<double>> x0s) const;
+
   bool ready() const { return m_inv_ != nullptr; }
+  /// Operator size n (rows == cols); 0 before setup(). What admission layers
+  /// validate incoming right-hand sides against.
+  la::Index rows() const { return a_ != nullptr ? a_->rows() : 0; }
   /// Wall-clock seconds the last setup() took (partition + factorizations +
   /// graphs + coarse space). Not touched by solve().
   double setup_seconds() const { return setup_seconds_; }

@@ -1,5 +1,6 @@
 #include "solver/krylov.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -467,6 +468,11 @@ SolveResult run_krylov(KrylovMethod method, const CsrMatrix& a,
                        const precond::Preconditioner& m,
                        std::span<const double> b, std::span<double> x,
                        const SolveOptions& opts) {
+  if (!opts.x0.empty()) {
+    DDMGNN_CHECK(opts.x0.size() == x.size(),
+                 "run_krylov: x0 size does not match the system");
+    std::copy(opts.x0.begin(), opts.x0.end(), x.begin());
+  }
   switch (method) {
     case KrylovMethod::kCg: return conjugate_gradient(a, b, x, opts);
     case KrylovMethod::kPcg: return pcg(a, m, b, x, opts);

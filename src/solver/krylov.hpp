@@ -52,6 +52,14 @@ struct SolveOptions {
   /// with kFpcg (SolverSession's default-method selection does this); the
   /// block path's per-column true-residual verification guards it further.
   bool precond_fp32 = false;
+  /// Warm-start guess: when non-empty (size n), run_krylov copies it into
+  /// `x` before dispatching, so the solve starts from x0 instead of whatever
+  /// the caller left in `x`. Every driver already treats `x` as the initial
+  /// guess (r₀ = b − A·x₀); this field just makes seeding explicit for
+  /// callers — SolverSession::solve_many and the streaming SolveService —
+  /// whose output buffers are freshly allocated. The span is only read
+  /// during the run_krylov call.
+  std::span<const double> x0;
 };
 
 struct SolveResult {
