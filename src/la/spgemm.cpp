@@ -1,0 +1,122 @@
+#include "la/spgemm.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ddmgnn::la {
+
+namespace {
+
+// One worker's scratch for Gustavson row merges: `mark[c]` holds the stamp of
+// the last row that touched column c, `acc[c]` its running sum, `cols` the
+// touched columns in first-touch order. Reset is O(row nnz), not O(n).
+struct RowMergeScratch {
+  std::vector<Index> mark;
+  std::vector<double> acc;
+  std::vector<Index> cols;
+
+  explicit RowMergeScratch(Index width)
+      : mark(static_cast<std::size_t>(width), -1),
+        acc(static_cast<std::size_t>(width), 0.0) {}
+};
+
+// Merge row i of A·B into scratch; returns the touched columns (unsorted,
+// first-touch order) with sums in scratch.acc. Accumulation order is the
+// fixed (k, j) traversal order — independent of the thread that runs it.
+void merge_row(const CsrMatrix& a, const CsrMatrix& b, Index i,
+               RowMergeScratch& s) {
+  s.cols.clear();
+  const auto a_ptr = a.row_ptr();
+  const auto a_col = a.col_idx();
+  const auto a_val = a.values();
+  const auto b_ptr = b.row_ptr();
+  const auto b_col = b.col_idx();
+  const auto b_val = b.values();
+  for (Offset k = a_ptr[i]; k < a_ptr[i + 1]; ++k) {
+    const Index mid = a_col[k];
+    const double av = a_val[k];
+    for (Offset j = b_ptr[mid]; j < b_ptr[mid + 1]; ++j) {
+      const Index c = b_col[j];
+      if (s.mark[c] != i) {
+        s.mark[c] = i;
+        s.acc[c] = av * b_val[j];
+        s.cols.push_back(c);
+      } else {
+        s.acc[c] += av * b_val[j];
+      }
+    }
+  }
+}
+
+template <typename RowBody>
+void for_each_row(Index rows, Index out_cols, const RowBody& body) {
+  const int threads = ddmgnn::num_threads();
+#ifdef _OPENMP
+  const bool serial = rows < 256 || threads == 1 || omp_in_parallel();
+#else
+  const bool serial = true;
+#endif
+  if (serial) {
+    RowMergeScratch s(out_cols);
+    for (Index i = 0; i < rows; ++i) body(i, s);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel num_threads(threads)
+  {
+    RowMergeScratch s(out_cols);
+#pragma omp for schedule(static)
+    for (Index i = 0; i < rows; ++i) body(i, s);
+  }
+#endif
+}
+
+}  // namespace
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  DDMGNN_CHECK(a.cols() == b.rows(), "spgemm: inner dimensions differ");
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+
+  // Symbolic pass: distinct columns per output row.
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for_each_row(rows, cols, [&](Index i, RowMergeScratch& s) {
+    merge_row(a, b, i, s);
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Offset>(s.cols.size());
+  });
+  for (Index i = 0; i < rows; ++i) row_ptr[i + 1] += row_ptr[i];
+
+  // Numeric pass: re-merge each row, sort its columns, write in place.
+  std::vector<Index> col_idx(static_cast<std::size_t>(row_ptr[rows]));
+  std::vector<double> vals(col_idx.size());
+  for_each_row(rows, cols, [&](Index i, RowMergeScratch& s) {
+    merge_row(a, b, i, s);
+    std::sort(s.cols.begin(), s.cols.end());
+    Offset out = row_ptr[i];
+    for (const Index c : s.cols) {
+      col_idx[out] = c;
+      vals[out] = s.acc[c];
+      ++out;
+    }
+  });
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(vals));
+}
+
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p) {
+  DDMGNN_CHECK(a.rows() == a.cols(), "galerkin_product: A must be square");
+  DDMGNN_CHECK(a.rows() == p.rows(),
+               "galerkin_product: P rows must match A dimension");
+  const CsrMatrix ap = spgemm(a, p);
+  return spgemm(p.transpose(), ap);
+}
+
+}  // namespace ddmgnn::la

@@ -1,0 +1,27 @@
+// Sparse-times-sparse products for the multi-level hierarchy build:
+// C = A·B via Gustavson's row-merge with a symbolic counting pass, and the
+// Galerkin triple product A_c = PᵀAP that produces each coarse-level
+// operator from the prolongator of the level above.
+//
+// Determinism contract: output rows are computed independently and, within a
+// row, partial products accumulate in the fixed (k over A's row, j over B's
+// row k) traversal order. The OpenMP split over rows therefore changes
+// nothing — the result is bitwise-identical at any thread count, which the
+// hierarchy-determinism tests rely on.
+#pragma once
+
+#include "la/csr.hpp"
+
+namespace ddmgnn::la {
+
+/// C = A·B. Column indices in each output row come out sorted; explicit
+/// zeros produced by cancellation are kept (pattern is the symbolic
+/// product), matching the CooBuilder convention.
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Galerkin coarse operator A_c = Pᵀ·A·P (rows(P) = rows(A); the result is
+/// cols(P)×cols(P)). Symmetry of A is inherited exactly in pattern; values
+/// match a dense Pᵀ A P reference to rounding.
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p);
+
+}  // namespace ddmgnn::la

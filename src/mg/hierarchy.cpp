@@ -1,0 +1,233 @@
+#include "mg/hierarchy.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "la/spgemm.hpp"
+#include "la/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "partition/aggregate.hpp"
+
+namespace ddmgnn::mg {
+
+namespace {
+
+// ||v||₂ with strictly serial accumulation. la::norm2 switches to an OpenMP
+// reduction above kParallelThreshold, whose combine order depends on the
+// team size — fine for Krylov solves, fatal for the "hierarchy build is
+// bitwise-identical at 1/2/4 threads" contract. The SpMV inside the power
+// iteration stays parallel (row-independent, deterministic).
+double serial_norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::vector<double> inverse_diagonal(const la::CsrMatrix& a) {
+  std::vector<double> d = a.diagonal();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    DDMGNN_CHECK(d[i] != 0.0, "hierarchy: zero diagonal in level operator");
+    d[i] = 1.0 / d[i];
+  }
+  return d;
+}
+
+// λ̂max(D⁻¹A) via the power_iteration_damping recipe (solver/stationary.cpp)
+// with the Jacobi preconditioner inlined and serial reductions substituted
+// for la::norm2 — same Rng seeding, same iteration structure.
+double lambda_max_dinv_a(const la::CsrMatrix& a,
+                         std::span<const double> inv_diag, int iterations,
+                         std::uint64_t seed) {
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<double> v(n), av(n), w(n);
+  for (double& vi : v) vi = rng.uniform(-1.0, 1.0);
+  double lambda = 1.0;
+  for (int k = 0; k < iterations; ++k) {
+    const double nv = serial_norm2(v);
+    if (nv == 0.0) break;
+    la::scale(1.0 / nv, v);
+    a.multiply(v, av);
+    parallel_for(static_cast<long>(n),
+                 [&](long i) { w[i] = inv_diag[i] * av[i]; });
+    lambda = serial_norm2(w);
+    if (!(lambda > 0.0) || !std::isfinite(lambda)) {
+      lambda = 1.0;
+      break;
+    }
+    v.swap(w);
+  }
+  return lambda;
+}
+
+// S = I − ω D⁻¹A on A's pattern (A carries a full diagonal — FEM assembly
+// and Galerkin products both guarantee it).
+la::CsrMatrix jacobi_smoother_matrix(const la::CsrMatrix& a,
+                                     std::span<const double> inv_diag,
+                                     double omega) {
+  std::vector<la::Offset> row_ptr(a.row_ptr().begin(), a.row_ptr().end());
+  std::vector<la::Index> col_idx(a.col_idx().begin(), a.col_idx().end());
+  std::vector<double> vals(a.values().begin(), a.values().end());
+  const auto rp = a.row_ptr();
+  parallel_for(a.rows(), [&](long i) {
+    const double scale = -omega * inv_diag[i];
+    bool has_diag = false;
+    for (la::Offset k = rp[i]; k < rp[i + 1]; ++k) {
+      vals[k] *= scale;
+      if (col_idx[k] == static_cast<la::Index>(i)) {
+        vals[k] += 1.0;
+        has_diag = true;
+      }
+    }
+    DDMGNN_CHECK(has_diag, "hierarchy: level operator row lacks a diagonal");
+  });
+  return la::CsrMatrix(a.rows(), a.cols(), std::move(row_ptr),
+                       std::move(col_idx), std::move(vals));
+}
+
+// The Nicolaides injection R0ᵀ as an n×K CSR prolongator: row v carries the
+// partition-of-unity weight 1/multiplicity for every subdomain containing v.
+// Matches NicolaidesCoarseSpace's membership table entry-for-entry, so the
+// unsmoothed Galerkin product equals its dense coarse matrix.
+la::CsrMatrix tentative_from_decomposition(la::Index n,
+                                           const partition::Decomposition& dec) {
+  std::vector<la::Offset> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& nodes : dec.subdomains) {
+    for (const la::Index v : nodes) ++row_ptr[v + 1];
+  }
+  for (la::Index v = 0; v < n; ++v) row_ptr[v + 1] += row_ptr[v];
+  std::vector<la::Index> col_idx(static_cast<std::size_t>(row_ptr[n]));
+  std::vector<double> vals(col_idx.size());
+  std::vector<la::Offset> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (la::Index p = 0; p < dec.num_parts; ++p) {
+    for (const la::Index v : dec.subdomains[p]) {
+      const la::Offset dst = cursor[v]++;
+      col_idx[dst] = p;  // parts visited in ascending order ⇒ sorted rows
+      vals[dst] = dec.inv_multiplicity[v];
+    }
+  }
+  return la::CsrMatrix(n, dec.num_parts, std::move(row_ptr),
+                       std::move(col_idx), std::move(vals));
+}
+
+la::CsrMatrix tentative_from_aggregates(const partition::Aggregation& agg) {
+  const la::Index n = static_cast<la::Index>(agg.assignment.size());
+  std::vector<la::Offset> row_ptr(static_cast<std::size_t>(n) + 1);
+  for (la::Index i = 0; i <= n; ++i) row_ptr[i] = i;
+  std::vector<la::Index> col_idx(agg.assignment.begin(), agg.assignment.end());
+  std::vector<double> vals(static_cast<std::size_t>(n), 1.0);
+  return la::CsrMatrix(n, agg.num_aggregates, std::move(row_ptr),
+                       std::move(col_idx), std::move(vals));
+}
+
+std::size_t csr_bytes(const la::CsrMatrix& m) {
+  return static_cast<std::size_t>(m.rows() + 1) * sizeof(la::Offset) +
+         static_cast<std::size_t>(m.nnz()) *
+             (sizeof(la::Index) + sizeof(double));
+}
+
+}  // namespace
+
+std::vector<la::Index> Hierarchy::level_rows() const {
+  std::vector<la::Index> out;
+  out.reserve(levels.size() + 1);
+  out.push_back(fine_rows);
+  for (const auto& lvl : levels) out.push_back(lvl.A.rows());
+  return out;
+}
+
+std::vector<la::Offset> Hierarchy::level_nnz() const {
+  std::vector<la::Offset> out;
+  out.reserve(levels.size() + 1);
+  out.push_back(fine_nnz);
+  for (const auto& lvl : levels) out.push_back(lvl.A.nnz());
+  return out;
+}
+
+std::size_t Hierarchy::memory_bytes() const {
+  std::size_t bytes = dense_factor_bytes();
+  for (const auto& lvl : levels) {
+    bytes += csr_bytes(lvl.A) + csr_bytes(lvl.P) + csr_bytes(lvl.R) +
+             lvl.inv_diag.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+std::size_t Hierarchy::dense_factor_bytes() const {
+  if (!coarsest_factor) return 0;
+  const auto k = static_cast<std::size_t>(coarsest_factor->size());
+  return k * k * sizeof(double);
+}
+
+Hierarchy build_hierarchy(const la::CsrMatrix& a,
+                          const partition::Decomposition& dec,
+                          const HierarchyOptions& opts) {
+  DDMGNN_CHECK(opts.levels >= 1, "hierarchy: levels must be >= 1");
+  DDMGNN_CHECK(a.rows() == dec.num_nodes(), "hierarchy: size mismatch");
+
+  Hierarchy h;
+  h.fine_rows = a.rows();
+  h.fine_nnz = a.nnz();
+
+  la::CsrMatrix p_tent = tentative_from_decomposition(a.rows(), dec);
+  for (int lvl = 0;; ++lvl) {
+    // `cur` is the operator of the level p_tent coarsens (fine grid for
+    // lvl 0). Its smoother data also feeds the cycle, so persist it.
+    const la::CsrMatrix& cur = lvl == 0 ? a : h.levels[lvl - 1].A;
+    std::vector<double> inv_diag = inverse_diagonal(cur);
+    const double lambda =
+        lambda_max_dinv_a(cur, inv_diag, opts.power_iterations, opts.seed);
+    // Classic SA smoothing weight 4/(3λmax), with the same 5% safety margin
+    // power_iteration_damping applies to its estimate.
+    const double omega = (4.0 / 3.0) / (1.05 * lambda);
+
+    CoarseLevel next;
+    next.P = la::spgemm(jacobi_smoother_matrix(cur, inv_diag, omega), p_tent);
+    next.R = next.P.transpose();
+    next.A = la::spgemm(next.R, la::spgemm(cur, next.P));
+    if (lvl >= 1) {
+      h.levels[lvl - 1].inv_diag = std::move(inv_diag);
+      h.levels[lvl - 1].lambda_max = lambda;
+    }
+    h.levels.push_back(std::move(next));
+
+    const la::CsrMatrix& coarse = h.levels.back().A;
+    if (lvl + 1 >= opts.levels) break;
+    if (coarse.rows() <= opts.min_coarse_rows) break;
+    const partition::Aggregation agg =
+        partition::aggregate(coarse, opts.aggregate_target);
+    if (agg.num_aggregates >= coarse.rows()) break;  // no progress
+    p_tent = tentative_from_aggregates(agg);
+  }
+
+  // Dense Cholesky of the coarsest operator — the direct solve at the
+  // bottom of the cycle, exactly the role the Nicolaides factor plays in
+  // the two-level method.
+  const la::CsrMatrix& bottom = h.levels.back().A;
+  la::DenseMatrix dense(bottom.rows(), bottom.rows(), 0.0);
+  {
+    const auto rp = bottom.row_ptr();
+    const auto ci = bottom.col_idx();
+    const auto va = bottom.values();
+    for (la::Index i = 0; i < bottom.rows(); ++i) {
+      for (la::Offset k = rp[i]; k < rp[i + 1]; ++k) dense(i, ci[k]) = va[k];
+    }
+  }
+  h.coarsest_factor = std::make_unique<la::DenseCholesky>(dense);
+
+  auto& reg = obs::Registry::instance();
+  const std::vector<la::Index> rows = h.level_rows();
+  const std::vector<la::Offset> nnz = h.level_nnz();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string label = "level=" + std::to_string(i);
+    reg.gauge("mg.level_rows", label).set(static_cast<double>(rows[i]));
+    reg.gauge("mg.level_nnz", label).set(static_cast<double>(nnz[i]));
+  }
+  return h;
+}
+
+}  // namespace ddmgnn::mg

@@ -1,0 +1,79 @@
+// Smoothed-aggregation multigrid hierarchy (the ML/MueLu recipe) for the
+// coarse component of Additive Schwarz. Level 0 is the fine operator; its
+// first tentative prolongator is the Nicolaides partition-of-unity injection
+// R0ᵀ seeded from the existing Decomposition, deeper levels come from greedy
+// aggregation (partition::aggregate). Every tentative prolongator is
+// smoothed, P = (I − ω D⁻¹A) P_tent, and coarse operators are Galerkin
+// triple products A_{ℓ+1} = Pᵀ A_ℓ P; the coarsest operator is factored
+// dense (Cholesky) exactly like the classic Nicolaides space — but over a
+// far smaller operator when levels > 1, which is the memory point of the
+// exercise.
+//
+// Determinism: the build is bitwise-identical at any thread count. The only
+// reduction it needs — the power-iteration eigenvalue estimate for ω — uses
+// serial accumulation (see hierarchy.cpp); everything else (SpGEMM,
+// transpose, aggregation, dense factorization) is deterministic by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "partition/decomposition.hpp"
+
+namespace ddmgnn::mg {
+
+struct HierarchyOptions {
+  /// Requested coarse-hierarchy depth L: the preconditioner becomes an
+  /// (L+1)-level method. The build truncates early when a level stops
+  /// shrinking or drops to min_coarse_rows.
+  int levels = 2;
+  /// Pass-1 aggregate size cap for partition::aggregate on deep levels.
+  la::Index aggregate_target = 8;
+  /// Power-iteration sweeps for the ω = 1/(1.05·λ̂max(D⁻¹A)) estimate
+  /// (the power_iteration_damping recipe, serial reductions).
+  int power_iterations = 12;
+  /// Stop coarsening once a level has at most this many rows.
+  la::Index min_coarse_rows = 8;
+  std::uint64_t seed = 0;
+};
+
+/// One coarse level. P maps THIS level to the next-finer one (the fine grid
+/// for levels[0]); R = Pᵀ. inv_diag / lambda_max are the Jacobi data and
+/// λ̂max(D⁻¹A) the cycle smoothers need — populated on every level except
+/// the coarsest (which is solved directly).
+struct CoarseLevel {
+  la::CsrMatrix A;
+  la::CsrMatrix P;
+  la::CsrMatrix R;
+  std::vector<double> inv_diag;
+  double lambda_max = 0.0;
+};
+
+struct Hierarchy {
+  std::vector<CoarseLevel> levels;
+  /// Dense Cholesky of levels.back().A.
+  std::unique_ptr<la::DenseCholesky> coarsest_factor;
+  la::Index fine_rows = 0;
+  la::Offset fine_nnz = 0;
+
+  int num_coarse_levels() const { return static_cast<int>(levels.size()); }
+  /// rows / nnz per level, index 0 = fine grid (for stats reporting).
+  std::vector<la::Index> level_rows() const;
+  std::vector<la::Offset> level_nnz() const;
+  std::size_t memory_bytes() const;
+  std::size_t dense_factor_bytes() const;
+};
+
+/// Build the hierarchy for `a` seeded from `dec` (level-1 tentative
+/// prolongator = Nicolaides partition-of-unity weights). Also publishes
+/// mg.level_rows / mg.level_nnz gauges (labels "level=ℓ").
+Hierarchy build_hierarchy(const la::CsrMatrix& a,
+                          const partition::Decomposition& dec,
+                          const HierarchyOptions& opts);
+
+}  // namespace ddmgnn::mg

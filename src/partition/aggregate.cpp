@@ -1,0 +1,66 @@
+#include "partition/aggregate.hpp"
+
+#include "common/error.hpp"
+
+namespace ddmgnn::partition {
+
+Aggregation aggregate(const la::CsrMatrix& a, la::Index target_size) {
+  DDMGNN_CHECK(a.rows() == a.cols(), "aggregate: matrix must be square");
+  DDMGNN_CHECK(target_size >= 1, "aggregate: target_size must be >= 1");
+  const la::Index n = a.rows();
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+
+  Aggregation out;
+  out.assignment.assign(static_cast<std::size_t>(n), -1);
+  auto& agg = out.assignment;
+  la::Index next = 0;
+
+  // Pass 1: a node with a fully unassigned neighborhood seeds an aggregate
+  // and absorbs up to target_size-1 neighbors (in column order).
+  for (la::Index i = 0; i < n; ++i) {
+    if (agg[i] != -1) continue;
+    bool free_neighborhood = true;
+    for (la::Offset k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const la::Index j = col_idx[k];
+      if (j != i && agg[j] != -1) {
+        free_neighborhood = false;
+        break;
+      }
+    }
+    if (!free_neighborhood) continue;
+    agg[i] = next;
+    la::Index size = 1;
+    for (la::Offset k = row_ptr[i]; k < row_ptr[i + 1] && size < target_size;
+         ++k) {
+      const la::Index j = col_idx[k];
+      if (j == i) continue;
+      agg[j] = next;
+      ++size;
+    }
+    ++next;
+  }
+
+  // Pass 2: unassigned nodes join the aggregate of their first assigned
+  // neighbor (column order makes the choice deterministic).
+  for (la::Index i = 0; i < n; ++i) {
+    if (agg[i] != -1) continue;
+    for (la::Offset k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const la::Index j = col_idx[k];
+      if (j != i && agg[j] != -1) {
+        agg[i] = agg[j];
+        break;
+      }
+    }
+  }
+
+  // Pass 3: isolated leftovers become singleton aggregates.
+  for (la::Index i = 0; i < n; ++i) {
+    if (agg[i] == -1) agg[i] = next++;
+  }
+
+  out.num_aggregates = next;
+  return out;
+}
+
+}  // namespace ddmgnn::partition

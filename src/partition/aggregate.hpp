@@ -1,0 +1,27 @@
+// Greedy aggregation coarsening for the smoothed-aggregation hierarchy
+// (the ML/MueLu "uncoupled" recipe): pass 1 seeds an aggregate at every
+// node whose neighborhood is still untouched and absorbs its neighbors,
+// pass 2 attaches leftover nodes to an adjacent aggregate, pass 3 turns
+// isolated stragglers into singletons. Everything is a serial sweep in
+// ascending node order, so the assignment is a pure function of the matrix
+// pattern — bitwise-reproducible at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace ddmgnn::partition {
+
+struct Aggregation {
+  la::Index num_aggregates = 0;
+  /// node -> aggregate id, dense in [0, num_aggregates).
+  std::vector<la::Index> assignment;
+};
+
+/// Aggregate the adjacency graph of `a` (off-diagonal pattern). `target_size`
+/// caps how many neighbors a seed absorbs in pass 1; with mesh-like graphs
+/// aggregates come out near min(target_size, 1 + node degree).
+Aggregation aggregate(const la::CsrMatrix& a, la::Index target_size);
+
+}  // namespace ddmgnn::partition

@@ -1,0 +1,50 @@
+// The coarse-correction seam of the Additive Schwarz preconditioner
+// (paper Eq. 7, first term): anything that can add a coarse correction
+//   z += B_c r
+// to the fine-level vector. Two implementations exist: the classic one-shot
+// NicolaidesCoarseSpace (dense K×K factor, the two-level method) and
+// mg::VCycle (recursive smoothed-aggregation hierarchy, the L-level method).
+//
+// Contract: implementations are immutable after construction and apply_add /
+// apply_add_many allocate any scratch they need per call, so one component
+// may serve concurrent clients (the same rule as Preconditioner workspaces).
+// apply_add_many must match apply_add bitwise per column — block Krylov
+// lockstep equivalence depends on it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "la/multivector.hpp"
+
+namespace ddmgnn::partition {
+
+class CoarseComponent {
+ public:
+  virtual ~CoarseComponent() = default;
+
+  /// z += B_c r on the fine level.
+  virtual void apply_add(std::span<const double> r, std::span<double> z)
+      const = 0;
+
+  /// Block form; default loops columns (bitwise-identical by construction).
+  virtual void apply_add_many(const la::MultiVector& r,
+                              la::MultiVector& z) const {
+    for (la::Index j = 0; j < r.cols(); ++j) apply_add(r.col(j), z.col(j));
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Whether B_c is symmetric positive (PCG-safe).
+  virtual bool is_symmetric() const { return true; }
+
+  /// Bytes retained after setup (factors, level operators, transfer ops).
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Bytes held in dense factorizations — the non-scalable part a deeper
+  /// hierarchy shrinks; bench_weak_scaling reports this per level count.
+  virtual std::size_t dense_factor_bytes() const = 0;
+};
+
+}  // namespace ddmgnn::partition

@@ -110,4 +110,18 @@ void NicolaidesCoarseSpace::apply_add(std::span<const double> r,
   }
 }
 
+std::size_t NicolaidesCoarseSpace::memory_bytes() const {
+  return dense_factor_bytes() +
+         static_cast<std::size_t>(coarse_.rows()) * coarse_.cols() *
+             sizeof(double) +
+         node_ptr_.size() * sizeof(Offset) +
+         node_part_.size() * sizeof(Index) +
+         node_weight_.size() * sizeof(double);
+}
+
+std::size_t NicolaidesCoarseSpace::dense_factor_bytes() const {
+  const auto k = static_cast<std::size_t>(dec_->num_parts);
+  return k * k * sizeof(double);  // the Cholesky factor of R0 A R0ᵀ
+}
+
 }  // namespace ddmgnn::partition

@@ -12,11 +12,12 @@
 #include "la/csr.hpp"
 #include "la/dense.hpp"
 #include "la/multivector.hpp"
+#include "partition/coarse_component.hpp"
 #include "partition/decomposition.hpp"
 
 namespace ddmgnn::partition {
 
-class NicolaidesCoarseSpace {
+class NicolaidesCoarseSpace final : public CoarseComponent {
  public:
   NicolaidesCoarseSpace(const la::CsrMatrix& a, const Decomposition& dec);
 
@@ -24,12 +25,17 @@ class NicolaidesCoarseSpace {
   std::vector<double> restrict_residual(std::span<const double> r) const;
 
   /// z += R0ᵀ (R0 A R0ᵀ)⁻¹ R0 r.
-  void apply_add(std::span<const double> r, std::span<double> z) const;
+  void apply_add(std::span<const double> r, std::span<double> z) const override;
 
   /// Block form: the K×s restricted block is pushed through ONE factorization
   /// backsolve (solve_inplace_columns) serving all s columns. Per column the
   /// arithmetic matches apply_add exactly.
-  void apply_add_many(const la::MultiVector& r, la::MultiVector& z) const;
+  void apply_add_many(const la::MultiVector& r,
+                      la::MultiVector& z) const override;
+
+  std::string name() const override { return "nicolaides"; }
+  std::size_t memory_bytes() const override;
+  std::size_t dense_factor_bytes() const override;
 
   Index num_parts() const { return dec_->num_parts; }
   const la::DenseMatrix& coarse_matrix() const { return coarse_; }

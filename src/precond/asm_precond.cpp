@@ -100,11 +100,8 @@ struct AdditiveSchwarz::Scratch final : ApplyWorkspace {
   std::unique_ptr<SubdomainSolver::Workspace> local;
 };
 
-AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
-                                 const partition::Decomposition& dec,
-                                 std::unique_ptr<SubdomainSolver> local_solver,
-                                 Config config)
-    : dec_(&dec), config_(config), solver_(std::move(local_solver)) {
+void AdditiveSchwarz::setup_local(const la::CsrMatrix& a,
+                                  const partition::Decomposition& dec) {
   DDMGNN_CHECK(a.rows() == dec.num_nodes(), "ASM: size mismatch");
   DDMGNN_CHECK(solver_ != nullptr, "ASM: null subdomain solver");
   const Index k = dec.num_parts;
@@ -126,12 +123,33 @@ AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
     obs::PhaseTimer t("setup.local_solver", &g);
     solver_->setup(std::move(blocks), dec);
   }
-  if (config_.two_level) {
+}
+
+AdditiveSchwarz::AdditiveSchwarz(const la::CsrMatrix& a,
+                                 const partition::Decomposition& dec,
+                                 std::unique_ptr<SubdomainSolver> local_solver,
+                                 Config config)
+    : dec_(&dec), solver_(std::move(local_solver)) {
+  setup_local(a, dec);
+  if (config.two_level) {
     static obs::Gauge& g =
         obs::Registry::instance().gauge("setup.coarse_space_seconds");
     obs::PhaseTimer t("setup.coarse_space", &g);
-    coarse_.emplace(a, dec);
+    coarse_ = std::make_unique<partition::NicolaidesCoarseSpace>(a, dec);
+  } else {
+    name_suffix_ = "-1level";
   }
+}
+
+AdditiveSchwarz::AdditiveSchwarz(
+    const la::CsrMatrix& a, const partition::Decomposition& dec,
+    std::unique_ptr<SubdomainSolver> local_solver,
+    std::unique_ptr<partition::CoarseComponent> coarse,
+    std::string name_suffix)
+    : dec_(&dec), solver_(std::move(local_solver)),
+      name_suffix_(coarse == nullptr ? "-1level" : std::move(name_suffix)) {
+  setup_local(a, dec);
+  coarse_ = std::move(coarse);
 }
 
 std::unique_ptr<ApplyWorkspace> AdditiveSchwarz::make_workspace() const {
@@ -239,8 +257,7 @@ void AdditiveSchwarz::apply_many(const la::MultiVector& r,
 }
 
 std::string AdditiveSchwarz::name() const {
-  return std::string("ddm-") + solver_->name() +
-         (config_.two_level ? "" : "-1level");
+  return std::string("ddm-") + solver_->name() + name_suffix_;
 }
 
 }  // namespace ddmgnn::precond

@@ -15,9 +15,9 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "la/csr.hpp"
+#include "partition/coarse_component.hpp"
 #include "partition/coarse_space.hpp"
 #include "partition/decomposition.hpp"
 #include "precond/preconditioner.hpp"
@@ -40,6 +40,15 @@ class AdditiveSchwarz final : public Preconditioner {
   AdditiveSchwarz(const la::CsrMatrix& a, const partition::Decomposition& dec,
                   std::unique_ptr<SubdomainSolver> local_solver)
       : AdditiveSchwarz(a, dec, std::move(local_solver), Config{}) {}
+  /// Generalized form: plug in any CoarseComponent (an mg::VCycle for the
+  /// L-level method, a NicolaidesCoarseSpace for the classic two-level one,
+  /// nullptr for one-level). `name_suffix` is appended to "ddm-<solver>" so
+  /// registry entries keep name() == registry name (e.g. "-ml"); ignored
+  /// (forced to "-1level") when coarse is null.
+  AdditiveSchwarz(const la::CsrMatrix& a, const partition::Decomposition& dec,
+                  std::unique_ptr<SubdomainSolver> local_solver,
+                  std::unique_ptr<partition::CoarseComponent> coarse,
+                  std::string name_suffix = "");
 
   using Preconditioner::apply;
   using Preconditioner::apply_many;
@@ -60,19 +69,27 @@ class AdditiveSchwarz final : public Preconditioner {
   void apply_many(const la::MultiVector& r, la::MultiVector& z,
                   ApplyWorkspace* ws) const override;
   std::string name() const override;
-  bool is_symmetric() const override { return solver_->is_symmetric(); }
+  bool is_symmetric() const override {
+    return solver_->is_symmetric() &&
+           (coarse_ == nullptr || coarse_->is_symmetric());
+  }
 
   const SubdomainSolver& local_solver() const { return *solver_; }
-  bool two_level() const { return config_.two_level; }
+  bool two_level() const { return coarse_ != nullptr; }
+  /// The coarse correction in use (nullptr for the one-level method).
+  const partition::CoarseComponent* coarse_component() const {
+    return coarse_.get();
+  }
 
  private:
   struct Scratch;
   Scratch& scratch_of(ApplyWorkspace* ws) const;
+  void setup_local(const la::CsrMatrix& a, const partition::Decomposition& dec);
 
   const partition::Decomposition* dec_;
-  Config config_;
   std::unique_ptr<SubdomainSolver> solver_;
-  std::optional<partition::NicolaidesCoarseSpace> coarse_;
+  std::unique_ptr<partition::CoarseComponent> coarse_;
+  std::string name_suffix_;
 };
 
 }  // namespace ddmgnn::precond

@@ -11,6 +11,7 @@
 #include "la/ic0.hpp"
 #include "la/rcm.hpp"
 #include "la/skyline_cholesky.hpp"
+#include "la/spgemm.hpp"
 #include "la/vector_ops.hpp"
 
 namespace {
@@ -295,6 +296,88 @@ TEST(Ic0, ExactOnMatrixWhoseFactorHasNoFill) {
   const la::IncompleteCholesky0 ic(a);
   const auto x = ic.apply(b);
   for (Index i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+}
+
+/// Random sparse rectangular matrix: ~`per_row` entries per row plus a
+/// diagonal-ish band so no row is empty.
+CsrMatrix random_sparse(Index rows, Index cols, Index per_row,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  CooBuilder coo(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    coo.add(i, i % cols, rng.uniform(-1, 1));
+    for (Index e = 0; e < per_row; ++e) {
+      coo.add(i, static_cast<Index>(rng.uniform_index(cols)),
+              rng.uniform(-1, 1));
+    }
+  }
+  return std::move(coo).build();
+}
+
+TEST(Spgemm, MatchesDenseReference) {
+  const CsrMatrix a = random_sparse(40, 25, 4, 301);
+  const CsrMatrix b = random_sparse(25, 33, 3, 302);
+  const CsrMatrix c = la::spgemm(a, b);
+  EXPECT_EQ(c.rows(), 40);
+  EXPECT_EQ(c.cols(), 33);
+  const auto ref =
+      la::DenseMatrix::from_csr(a).matmul(la::DenseMatrix::from_csr(b));
+  for (Index i = 0; i < c.rows(); ++i) {
+    for (Index j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c.at(i, j), ref(i, j), 1e-12) << i << "," << j;
+    }
+  }
+  // Column indices sorted within each row (the CSR invariant downstream
+  // kernels assume).
+  const auto rp = c.row_ptr();
+  const auto ci = c.col_idx();
+  for (Index i = 0; i < c.rows(); ++i) {
+    for (la::Offset k = rp[i] + 1; k < rp[i + 1]; ++k) {
+      EXPECT_LT(ci[k - 1], ci[k]);
+    }
+  }
+}
+
+TEST(Spgemm, GalerkinProductMatchesDenseTripleProduct) {
+  const CsrMatrix a = random_spd(60, 3.0, 303);
+  const CsrMatrix p = random_sparse(60, 12, 2, 304);
+  const CsrMatrix ac = la::galerkin_product(a, p);
+  EXPECT_EQ(ac.rows(), 12);
+  EXPECT_EQ(ac.cols(), 12);
+  const auto pd = la::DenseMatrix::from_csr(p);
+  const auto ref =
+      pd.transposed().matmul(la::DenseMatrix::from_csr(a)).matmul(pd);
+  for (Index i = 0; i < 12; ++i) {
+    for (Index j = 0; j < 12; ++j) {
+      EXPECT_NEAR(ac.at(i, j), ref(i, j), 1e-12) << i << "," << j;
+    }
+  }
+  // Galerkin of a symmetric A is symmetric to rounding.
+  EXPECT_LE(ac.symmetry_defect(), 1e-12);
+}
+
+TEST(Transpose, IsAnInvolutionAndPreservesSymmetricPattern) {
+  const CsrMatrix a = random_sparse(30, 45, 4, 305);
+  const CsrMatrix att = a.transpose().transpose();
+  ASSERT_EQ(att.rows(), a.rows());
+  ASSERT_EQ(att.cols(), a.cols());
+  ASSERT_EQ(att.nnz(), a.nnz());
+  EXPECT_TRUE(std::equal(a.row_ptr().begin(), a.row_ptr().end(),
+                         att.row_ptr().begin()));
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(),
+                         att.col_idx().begin()));
+  for (std::size_t k = 0; k < a.values().size(); ++k) {
+    EXPECT_EQ(a.values()[k], att.values()[k]);  // bitwise: pure permutation
+  }
+
+  // On a symmetric matrix the transpose has the identical pattern.
+  const CsrMatrix s = random_spd(50, 3.0, 306);
+  const CsrMatrix st = s.transpose();
+  ASSERT_EQ(st.nnz(), s.nnz());
+  EXPECT_TRUE(std::equal(s.row_ptr().begin(), s.row_ptr().end(),
+                         st.row_ptr().begin()));
+  EXPECT_TRUE(std::equal(s.col_idx().begin(), s.col_idx().end(),
+                         st.col_idx().begin()));
 }
 
 }  // namespace
